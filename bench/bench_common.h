@@ -1,0 +1,59 @@
+// Shared plumbing for the figure/table benches.
+//
+// Every bench accepts an optional stride argument (`bench_x [stride]`, or
+// the WHEELS_BENCH_STRIDE environment variable): the campaign executes
+// every stride-th round-robin test cycle and fast-forwards the rest.
+// stride=1 reproduces the full 8-day campaign; the default keeps a bench
+// under ~1 minute while preserving the geographic spread of samples.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "apps/app_campaign.h"
+#include "trip/campaign.h"
+
+namespace wheels::bench {
+
+inline int stride_from(int argc, char** argv, int fallback) {
+  if (argc > 1) {
+    const int s = std::atoi(argv[1]);
+    if (s >= 1) return s;
+  }
+  if (const char* env = std::getenv("WHEELS_BENCH_STRIDE")) {
+    const int s = std::atoi(env);
+    if (s >= 1) return s;
+  }
+  return fallback;
+}
+
+inline trip::CampaignConfig campaign_config(int argc, char** argv,
+                                            int default_stride = 8) {
+  trip::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = stride_from(argc, argv, default_stride);
+  return cfg;
+}
+
+inline apps::AppCampaignConfig app_campaign_config(int argc, char** argv,
+                                                   int default_stride = 10) {
+  apps::AppCampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = stride_from(argc, argv, default_stride);
+  return cfg;
+}
+
+inline void print_header(const std::string& id, const std::string& title,
+                         int stride) {
+  std::cout << "=== " << id << ": " << title << " ===\n"
+            << "(campaign stride " << stride
+            << "; stride 1 reproduces the full 8-day drive)\n\n";
+}
+
+// A one-line reminder of the paper's reference numbers next to ours.
+inline void paper_note(const std::string& text) {
+  std::cout << "  [paper] " << text << "\n";
+}
+
+}  // namespace wheels::bench

@@ -1,0 +1,45 @@
+// Fig. 10: per-test performance vs the fraction of time the UE spent on
+// high-speed 5G (mid-band or mmWave).
+#include "bench_common.h"
+
+#include "analysis/longterm.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Fig. 10",
+                      "Per-test performance vs high-speed-5G time share",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  for (auto test : {trip::TestType::DownlinkBulk,
+                    trip::TestType::UplinkBulk, trip::TestType::Ping}) {
+    std::cout << "--- " << to_string(test)
+              << (test == trip::TestType::Ping ? " (ms)" : " (Mbps)")
+              << " ---\n";
+    TextTable t({"Operator", "share 0-25%", "25-50%", "50-75%", "75-100%",
+                 "n per bucket"});
+    for (const auto& log : res.logs) {
+      const auto buckets = analysis::by_hs5g_share(log.tests, test, 4);
+      std::vector<double> meds;
+      std::string counts;
+      for (const auto& b : buckets) {
+        meds.push_back(b.median);
+        counts += std::to_string(b.count) + " ";
+      }
+      auto row = meds;
+      t.add_row({std::string(to_string(log.op)), fmt(row[0], 1),
+                 fmt(row[1], 1), fmt(row[2], 1), fmt(row[3], 1), counts});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  bench::paper_note("only T-Mobile's mid-band lifts the DL medians with "
+                    "share; elsewhere performance is similar regardless of "
+                    "high-speed-5G time (poor performance even under full "
+                    "coverage).");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 11: handover frequency (per mile) and duration.
+#include "bench_common.h"
+
+#include "analysis/handover_analysis.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Fig. 11", "Handovers per mile and HO duration",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  std::cout << "(a) Handovers per mile during 30 s tests\n";
+  TextTable t({"Operator", "dir", "med", "p75", "max"});
+  for (const auto& log : res.logs) {
+    for (auto test :
+         {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {
+      const auto v = analysis::handovers_per_mile(log.tests, test);
+      t.add_row_values(std::string(to_string(log.op)) + " " +
+                           std::string(to_string(test)),
+                       {percentile(v, 50), percentile(v, 75),
+                        percentile(v, 100)},
+                       1);
+    }
+  }
+  t.print(std::cout);
+  bench::paper_note("paper medians (p75): DL 3(6)/2(5)/2(5), UL "
+                    "2(5)/2(6)/1(3) for V/T/A; extremes beyond 20/mile.");
+
+  std::cout << "\n(b) Handover duration (ms)\n";
+  TextTable t2({"Operator", "dir", "med", "p75", "p95"});
+  for (const auto& log : res.logs) {
+    for (auto test :
+         {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {
+      const auto v = analysis::handover_durations(log.tests,
+                                                  log.test_handovers, test);
+      t2.add_row_values(std::string(to_string(log.op)) + " " +
+                            std::string(to_string(test)),
+                        {percentile(v, 50), percentile(v, 75),
+                         percentile(v, 95)},
+                        1);
+    }
+  }
+  t2.print(std::cout);
+  bench::paper_note("paper medians (p75): DL 53(73)/76(107)/58(74) ms, UL "
+                    "49(63)/75(101)/57(73) ms.");
+  return 0;
+}

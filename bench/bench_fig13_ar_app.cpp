@@ -1,0 +1,94 @@
+// Fig. 13 (and Figs. 18-19): AR app performance -- E2E offloading
+// latency, offloaded FPS, detection accuracy; driving vs best static;
+// effect of compression, technology, server, and handovers.
+#include "bench_common.h"
+
+#include "core/stats.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  using apps::AppKind;
+  auto cfg = bench::app_campaign_config(argc, argv);
+  bench::print_header("Fig. 13 (+18-19)", "AR app QoE",
+                      cfg.cycle_stride);
+
+  apps::AppCampaign campaign(cfg);
+  const auto res = campaign.run();
+
+  TextTable t({"Operator", "compr", "runs", "E2E med (ms)", "E2E p90",
+               "FPS med", "mAP med", "mAP max"});
+  for (auto op : ran::kAllOperators) {
+    for (const bool compression : {false, true}) {
+      std::vector<double> e2e, fps, map;
+      for (const auto& r : res.for_op(op)) {
+        if (r.app != AppKind::Ar || r.compression != compression) continue;
+        if (r.median_e2e_ms > 0.0) {
+          e2e.push_back(r.median_e2e_ms);
+          fps.push_back(r.offloaded_fps);
+          map.push_back(r.map);
+        }
+      }
+      t.add_row({std::string(to_string(op)), compression ? "yes" : "no",
+                 std::to_string(e2e.size()), fmt(percentile(e2e, 50), 1),
+                 fmt(percentile(e2e, 90), 1), fmt(percentile(fps, 50), 2),
+                 fmt(percentile(map, 50), 1),
+                 fmt(percentile(map, 100), 1)});
+    }
+  }
+  t.print(std::cout);
+  bench::paper_note("driving, compressed: E2E med ~214 ms (3x best "
+                    "static), FPS ~4.35, mAP ~30.1; compression clearly "
+                    "beats raw frames.");
+
+  // Best static runs per operator.
+  std::cout << "\nBest static runs (compressed):\n";
+  TextTable ts({"Operator", "E2E (ms)", "FPS", "mAP"});
+  for (auto op : ran::kAllOperators) {
+    const auto sb = campaign.run_static_baseline(op);
+    double best_e2e = 1e18, best_fps = 0.0, best_map = 0.0;
+    for (const auto& r : sb) {
+      if (r.app != AppKind::Ar || !r.compression || r.mean_e2e_ms <= 0.0) {
+        continue;
+      }
+      if (r.mean_e2e_ms < best_e2e) {
+        best_e2e = r.mean_e2e_ms;
+        best_fps = r.offloaded_fps;
+        best_map = r.map;
+      }
+    }
+    ts.add_row_values(std::string(to_string(op)),
+                      {best_e2e, best_fps, best_map}, 2);
+  }
+  ts.print(std::cout);
+  bench::paper_note("best static: 68 ms E2E, 12.5 FPS, 36.5 mAP; Verizon "
+                    "leads thanks to the lowest RTT (edge).");
+
+  // Technology / server / handover effects (Verizon, compressed).
+  std::cout << "\nVerizon, compressed runs -- context splits:\n";
+  std::vector<double> hs_map, lt_map, edge_e2e, cloud_e2e, hos, maps;
+  for (const auto& r : res.for_op(ran::OperatorId::Verizon)) {
+    if (r.app != AppKind::Ar || !r.compression || r.e2e_ms.empty()) {
+      continue;
+    }
+    (r.frac_high_speed_5g > 0.5 ? hs_map : lt_map).push_back(r.map);
+    (r.server == net::ServerKind::Edge ? edge_e2e : cloud_e2e)
+        .push_back(r.median_e2e_ms);
+    hos.push_back(static_cast<double>(r.handovers));
+    maps.push_back(r.map);
+  }
+  std::cout << "  mAP med: mostly-HS5G runs " << fmt(percentile(hs_map, 50), 1)
+            << " (n=" << hs_map.size() << ") vs mostly-4G/low "
+            << fmt(percentile(lt_map, 50), 1) << " (n=" << lt_map.size()
+            << ")\n";
+  std::cout << "  E2E med: edge " << fmt(percentile(edge_e2e, 50), 1)
+            << " ms (n=" << edge_e2e.size() << ") vs cloud "
+            << fmt(percentile(cloud_e2e, 50), 1) << " ms (n="
+            << cloud_e2e.size() << ")\n";
+  std::cout << "  corr(handovers, mAP) = " << fmt(pearson(hos, maps), 2)
+            << "\n";
+  bench::paper_note("high-speed 5G lifts the worst case only; edge helps "
+                    "everywhere; handovers show no strong correlation "
+                    "with mAP (local tracking hides them).");
+  return 0;
+}

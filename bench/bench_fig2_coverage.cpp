@@ -1,0 +1,101 @@
+// Fig. 2: technology coverage as % of miles -- (a) overall, (b) by traffic
+// direction, (c) by timezone, (d) by speed bin.
+#include "bench_common.h"
+
+#include "analysis/coverage.h"
+#include "analysis/performance.h"
+#include "core/table.h"
+
+namespace {
+
+using namespace wheels;
+
+std::vector<double> share_row(const analysis::TechShares& ts) {
+  return {100 * ts.tech(radio::Tech::LTE),
+          100 * ts.tech(radio::Tech::LTE_A),
+          100 * ts.tech(radio::Tech::NR_LOW),
+          100 * ts.tech(radio::Tech::NR_MID),
+          100 * ts.tech(radio::Tech::NR_MMWAVE),
+          100 * ts.no_service(),
+          100 * ts.total_5g(),
+          100 * ts.high_speed_5g()};
+}
+
+TextTable make_table() {
+  return TextTable({"Case", "LTE", "LTE-A", "5G-low", "5G-mid", "5G-mmW",
+                    "none", "5G", "HS-5G"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Fig. 2", "Technology coverage (% of miles driven)",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  std::cout << "(a) Overall coverage during active tests\n";
+  auto ta = make_table();
+  for (const auto& log : res.logs) {
+    ta.add_row_values(std::string(to_string(log.op)),
+                      share_row(analysis::coverage_from_kpi(log.kpi)), 1);
+  }
+  ta.print(std::cout);
+  bench::paper_note("5G total: T-Mobile ~68%, Verizon/AT&T ~18-22%; "
+                    "HS-5G: 38% (T) down to 3% (A); Verizon leads mmWave.");
+
+  std::cout << "\n(b) By traffic direction (backlogged tests)\n";
+  auto tb = make_table();
+  for (const auto& log : res.logs) {
+    analysis::KpiFilter dl, ul;
+    dl.only_downlink = true;
+    ul.only_uplink = true;
+    tb.add_row_values(std::string(to_string(log.op)) + " DL",
+                      share_row(analysis::coverage_from_kpi(log.kpi, dl)),
+                      1);
+    tb.add_row_values(std::string(to_string(log.op)) + " UL",
+                      share_row(analysis::coverage_from_kpi(log.kpi, ul)),
+                      1);
+  }
+  tb.print(std::cout);
+  bench::paper_note("HS-5G share is higher for downlink than uplink for "
+                    "all three operators.");
+
+  std::cout << "\n(c) By timezone\n";
+  auto tc = make_table();
+  for (const auto& log : res.logs) {
+    for (int tz = 0; tz < 4; ++tz) {
+      analysis::KpiFilter f;
+      f.tz = tz;
+      tc.add_row_values(std::string(to_string(log.op)) + " " +
+                            to_string(static_cast<TimeZone>(tz)),
+                        share_row(analysis::coverage_from_kpi(log.kpi, f)),
+                        1);
+    }
+  }
+  tc.print(std::cout);
+  bench::paper_note("T-Mobile mid-band strongest in Pacific; AT&T 5G thin "
+                    "in Mountain/Central; Verizon better in the east.");
+
+  std::cout << "\n(d) By speed bin\n";
+  auto td = make_table();
+  const double bounds[4] = {0.0, 20.0, 60.0, 1e9};
+  for (const auto& log : res.logs) {
+    for (int b = 0; b < 3; ++b) {
+      analysis::KpiFilter f;
+      f.min_mph = bounds[b];
+      f.max_mph = bounds[b + 1];
+      td.add_row_values(std::string(to_string(log.op)) + " " +
+                            analysis::speed_bin_label(b),
+                        share_row(analysis::coverage_from_kpi(log.kpi, f)),
+                        1);
+    }
+  }
+  td.print(std::cout);
+  bench::paper_note("HS-5G coverage falls from low to high speed bins; "
+                    "T-Mobile is the only carrier keeping substantial "
+                    "mid-band at 60+ mph.");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 3: overall throughput and RTT, static city baselines vs driving.
+#include "bench_common.h"
+
+#include "analysis/performance.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Fig. 3",
+                      "Static vs driving throughput and RTT CDFs",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+
+  std::cout << "(a) Static (best per-city 5G sites)\n";
+  TextTable ta({"Operator", "DL med", "DL max", "UL med", "UL max",
+                "RTT med", "RTT min"});
+  for (auto op : ran::kAllOperators) {
+    const auto sb = campaign.run_static_baseline(op);
+    ta.add_row_values(
+        std::string(to_string(op)),
+        {percentile(sb.dl_tput_mbps, 50), percentile(sb.dl_tput_mbps, 100),
+         percentile(sb.ul_tput_mbps, 50), percentile(sb.ul_tput_mbps, 100),
+         percentile(sb.rtt_ms, 50), percentile(sb.rtt_ms, 0)},
+        1);
+  }
+  ta.print(std::cout);
+  bench::paper_note("static DL med 1511/311/710 (V/T/A), max up to "
+                    "3415/812/2043; UL med 167/39/62, max 350/137/215; "
+                    "RTT 8..150+ ms.");
+
+  const auto res = campaign.run();
+  std::cout << "\n(b) Driving (all 500 ms samples)\n";
+  TextTable tb({"Operator", "DL med", "DL p75", "DL max", "UL med",
+                "UL p75", "RTT med", "RTT max", "%DL<5Mbps", "%UL<5Mbps"});
+  for (const auto& log : res.logs) {
+    analysis::PerfFilter dl, ul;
+    dl.test = trip::TestType::DownlinkBulk;
+    ul.test = trip::TestType::UplinkBulk;
+    const auto dls = analysis::tput_samples(log.kpi, dl);
+    const auto uls = analysis::tput_samples(log.kpi, ul);
+    const auto rtts = analysis::rtt_samples(log.rtt, {});
+    tb.add_row_values(
+        std::string(to_string(log.op)),
+        {percentile(dls, 50), percentile(dls, 75), percentile(dls, 100),
+         percentile(uls, 50), percentile(uls, 75), percentile(rtts, 50),
+         percentile(rtts, 100), 100 * EmpiricalCdf(dls).at(5.0),
+         100 * EmpiricalCdf(uls).at(5.0)},
+        1);
+  }
+  tb.print(std::cout);
+  bench::paper_note("driving DL med 6-34 / p75 47-74 Mbps; UL med 6-9 / "
+                    "p75 14-24; ~35% of samples < 5 Mbps; RTT med "
+                    "60-76 ms with multi-second maxima.");
+
+  std::cout << "\nDriving DL CDF curves:\n";
+  for (const auto& log : res.logs) {
+    analysis::PerfFilter dl;
+    dl.test = trip::TestType::DownlinkBulk;
+    print_cdf(std::cout, std::string(to_string(log.op)) + " DL (Mbps)",
+              EmpiricalCdf(analysis::tput_samples(log.kpi, dl)), 11);
+  }
+  return 0;
+}

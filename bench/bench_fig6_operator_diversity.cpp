@@ -1,0 +1,63 @@
+// Fig. 6: pairwise throughput difference of concurrent samples and the
+// HT/LT technology-bin decomposition.
+#include "bench_common.h"
+
+#include "analysis/operator_diversity.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Fig. 6",
+                      "Operator diversity: concurrent throughput "
+                      "differences and HT/LT bins",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  const std::pair<ran::OperatorId, ran::OperatorId> pairs[] = {
+      {ran::OperatorId::Verizon, ran::OperatorId::TMobile},
+      {ran::OperatorId::TMobile, ran::OperatorId::ATT},
+      {ran::OperatorId::ATT, ran::OperatorId::Verizon},
+  };
+
+  for (auto test :
+       {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {
+    std::cout << "--- " << to_string(test) << " ---\n";
+    TextTable t({"Pair", "n", "HT-HT%", "HT-LT%", "LT-HT%", "LT-LT%",
+                 "first wins %", "diff p25", "diff med", "diff p75"});
+    for (const auto& [a, b] : pairs) {
+      const auto ps = analysis::pair_samples(res.for_op(a).kpi,
+                                             res.for_op(b).kpi, test);
+      const auto an = analysis::analyze_pair(ps);
+      t.add_row(
+          {std::string(to_string(a)) + "-" + std::string(to_string(b)),
+           std::to_string(ps.size()),
+           fmt(100 * an.bin_fraction[0], 1), fmt(100 * an.bin_fraction[1], 1),
+           fmt(100 * an.bin_fraction[2], 1), fmt(100 * an.bin_fraction[3], 1),
+           fmt(100 * an.first_wins, 1),
+           fmt(percentile(an.all_diffs, 25), 1),
+           fmt(percentile(an.all_diffs, 50), 1),
+           fmt(percentile(an.all_diffs, 75), 1)});
+      // HT-vs-LT upsets: the high-tech side losing anyway.
+      const auto& htlt =
+          an.diffs_by_bin[static_cast<int>(analysis::TechBin::HtLt)];
+      if (htlt.size() > 20) {
+        int upsets = 0;
+        for (double d : htlt) {
+          if (d < 0.0) ++upsets;
+        }
+        std::cout << "  " << to_string(a) << " HT loses to " << to_string(b)
+                  << " LT in " << fmt(100.0 * upsets / htlt.size(), 1)
+                  << "% of HT-LT samples\n";
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  bench::paper_note("LT-LT dominates most pairs; HT-HT rare (0.3-10%); an "
+                    "HT operator still loses to an LT one in ~20% of "
+                    "instants -- the multi-connectivity argument.");
+  return 0;
+}

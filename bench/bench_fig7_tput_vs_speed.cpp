@@ -1,0 +1,40 @@
+// Fig. 7: technology-wise throughput as a function of vehicle speed.
+#include "bench_common.h"
+
+#include "analysis/performance.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Fig. 7",
+                      "Throughput vs speed (three speed regions)",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  for (auto test :
+       {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {
+    std::cout << "--- " << to_string(test) << " ---\n";
+    TextTable t({"Operator", "Tech", "Speed bin", "n", "p10", "med",
+                 "p90", "max"});
+    for (const auto& log : res.logs) {
+      for (const auto& st :
+           analysis::tput_by_speed_and_tech(log.kpi, test)) {
+        t.add_row({std::string(to_string(log.op)),
+                   std::string(to_string(st.tech)),
+                   analysis::speed_bin_label(st.bin),
+                   std::to_string(st.count), fmt(st.p10, 1),
+                   fmt(st.median, 1), fmt(st.p90, 1), fmt(st.max, 1)});
+      }
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  bench::paper_note("mmWave points cluster in the 0-20 mph (city) bin; "
+                    "mid-speed (suburban) throughput dips below highway "
+                    "speeds for Verizon/AT&T; low-throughput points exist "
+                    "in every region (weak speed correlation).");
+  return 0;
+}

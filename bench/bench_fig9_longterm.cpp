@@ -1,0 +1,57 @@
+// Fig. 9: per-test (30 s / 20 s) means and fluctuation.
+#include "bench_common.h"
+
+#include "analysis/longterm.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Fig. 9",
+                      "Per-test means and within-test fluctuation",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  std::cout << "Per-test mean (upper row of Fig. 9):\n";
+  TextTable t({"Operator", "DL med (Mbps)", "UL med (Mbps)",
+               "RTT med (ms)"});
+  for (const auto& log : res.logs) {
+    t.add_row_values(
+        std::string(to_string(log.op)),
+        {percentile(analysis::test_means(log.tests,
+                                         trip::TestType::DownlinkBulk),
+                    50),
+         percentile(
+             analysis::test_means(log.tests, trip::TestType::UplinkBulk),
+             50),
+         percentile(analysis::test_means(log.tests, trip::TestType::Ping),
+                    50)},
+        1);
+  }
+  t.print(std::cout);
+  bench::paper_note("paper medians: DL 30/37/48, UL 13/14/10 Mbps, RTT "
+                    "64/82/81 ms for V/T/A.");
+
+  std::cout << "\nWithin-test stddev as % of mean (lower row):\n";
+  TextTable t2({"Operator", "DL med %", "UL med %", "RTT med %"});
+  for (const auto& log : res.logs) {
+    t2.add_row_values(
+        std::string(to_string(log.op)),
+        {percentile(analysis::test_cv_percent(log.tests,
+                                              trip::TestType::DownlinkBulk),
+                    50),
+         percentile(analysis::test_cv_percent(log.tests,
+                                              trip::TestType::UplinkBulk),
+                    50),
+         percentile(
+             analysis::test_cv_percent(log.tests, trip::TestType::Ping),
+             50)},
+        1);
+  }
+  t2.print(std::cout);
+  bench::paper_note("paper medians: 70/48/52% (DL), 45/52/44% (UL), "
+                    "18/29/19% (RTT).");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 1: driving dataset statistics.
+#include "bench_common.h"
+
+#include "analysis/dataset_stats.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Table 1", "Driving dataset statistics",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+  const auto st = analysis::dataset_stats(res);
+
+  TextTable t({"Statistic", "Measured", "Paper"});
+  t.add_row({"Total distance (km)", fmt(st.total_km, 0), "5711+"});
+  t.add_row({"Days", std::to_string(st.days), "8"});
+  t.add_row({"States / cities / timezones",
+             std::to_string(st.states) + " / " +
+                 std::to_string(st.major_cities) + " / " +
+                 std::to_string(st.timezones),
+             "14 / 10 / 4"});
+  t.add_row({"Unique cells V/T/A",
+             std::to_string(st.unique_cells[0]) + " / " +
+                 std::to_string(st.unique_cells[1]) + " / " +
+                 std::to_string(st.unique_cells[2]),
+             "3020 / 4038 / 3150"});
+  t.add_row({"Handovers V/T/A (logger phones)",
+             std::to_string(st.handovers[0]) + " / " +
+                 std::to_string(st.handovers[1]) + " / " +
+                 std::to_string(st.handovers[2]),
+             "2657 / 4119 / 2494"});
+  t.add_row({"Cellular data Rx/Tx (GB)",
+             fmt(st.rx_gb, 1) + " / " + fmt(st.tx_gb, 1),
+             "777+ / 83+ (full campaign)"});
+  t.add_row({"Experiment runtime (min, per op)",
+             fmt(st.runtime_min[0], 0),
+             "5561 (V) 4595 (T) 4541 (A)"});
+  t.print(std::cout);
+  std::cout << "\nNote: data volume and runtime scale ~1/stride. Our\n"
+               "simulated links average a higher DL rate than the 2022\n"
+               "testbed, so stride-1 data volume overshoots Table 1.\n";
+  return 0;
+}

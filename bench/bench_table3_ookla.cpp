@@ -1,0 +1,42 @@
+// Table 3: comparison of driving medians with Ookla's static-user report.
+#include "bench_common.h"
+
+#include "analysis/longterm.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  auto cfg = bench::campaign_config(argc, argv);
+  bench::print_header("Table 3",
+                      "Driving medians vs Ookla Q3 2022 (static users)",
+                      cfg.cycle_stride);
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+  const auto ookla = analysis::ookla_q3_2022();
+
+  TextTable t({"Operator", "DL ours", "DL Speedtest", "UL ours",
+               "UL Speedtest", "RTT ours", "RTT Speedtest"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& log = res.logs[i];
+    t.add_row_values(
+        std::string(to_string(log.op)),
+        {percentile(analysis::test_means(log.tests,
+                                         trip::TestType::DownlinkBulk),
+                    50),
+         ookla[i].dl_mbps,
+         percentile(
+             analysis::test_means(log.tests, trip::TestType::UplinkBulk),
+             50),
+         ookla[i].ul_mbps,
+         percentile(analysis::test_means(log.tests, trip::TestType::Ping),
+                    50),
+         ookla[i].rtt_ms},
+        1);
+  }
+  t.print(std::cout);
+  bench::paper_note("driving shows much lower DL than the (mostly static) "
+                    "Speedtest numbers, slightly higher UL, higher RTT "
+                    "(paper: 29.6 vs 58.6 DL for Verizon, etc).");
+  return 0;
+}

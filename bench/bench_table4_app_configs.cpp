@@ -1,0 +1,30 @@
+// Table 4: configuration constants of the AR and CAV applications.
+#include <iostream>
+
+#include "apps/offload.h"
+#include "core/table.h"
+
+int main() {
+  using namespace wheels;
+  std::cout << "=== Table 4: AR & CAV application configuration ===\n\n";
+  const auto ar = apps::ar_config(true);
+  const auto cav = apps::cav_config(true);
+  TextTable t({"Parameter", "AR", "CAV", "Paper (AR/CAV)"});
+  t.add_row({"Frames per second", fmt(ar.fps, 0), fmt(cav.fps, 0),
+             "30 / 10"});
+  t.add_row({"Frame size raw (KB)", fmt(ar.frame_raw_kb, 0),
+             fmt(cav.frame_raw_kb, 0), "450 / 2000"});
+  t.add_row({"Frame size compressed (KB)", fmt(ar.frame_compressed_kb, 0),
+             fmt(cav.frame_compressed_kb, 0), "50 / 38"});
+  t.add_row({"Compression time (ms)", fmt(ar.compression_time.value, 1),
+             fmt(cav.compression_time.value, 1), "6.3 / 34.8"});
+  t.add_row({"Server inference time (ms)", fmt(ar.inference_time.value, 1),
+             fmt(cav.inference_time.value, 1), "24.9 / 44.0"});
+  t.add_row({"Decompression time (ms)",
+             fmt(ar.decompression_time.value, 1),
+             fmt(cav.decompression_time.value, 1), "1.0 / 19.1"});
+  t.add_row({"Run duration (s)", fmt(ar.run_duration.seconds(), 0),
+             fmt(cav.run_duration.seconds(), 0), "20 / 20"});
+  t.print(std::cout);
+  return 0;
+}

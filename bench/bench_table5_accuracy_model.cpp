@@ -1,0 +1,31 @@
+// Table 5: object-detection accuracy (mAP) per E2E latency bin, with and
+// without frame compression.
+#include <iostream>
+
+#include "apps/accuracy.h"
+#include "core/table.h"
+
+int main() {
+  using namespace wheels;
+  std::cout << "=== Table 5: mAP vs E2E latency (Argoverse + Faster "
+               "R-CNN, local tracking) ===\n\n";
+  const Millis frame{1'000.0 / 30.0};
+  TextTable t({"E2E (frame times)", "mAP w/o compression",
+               "mAP w/ compression"});
+  for (int bin = 0; bin < 30; ++bin) {
+    const Millis e2e{(bin + 0.5) * frame.value};
+    t.add_row({std::to_string(bin) + "-" + std::to_string(bin + 1),
+               fmt(apps::detection_map(e2e, frame, false), 2),
+               fmt(apps::detection_map(e2e, frame, true), 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nBeyond the table the model decays toward a floor:\n";
+  for (double bins : {35.0, 50.0, 100.0}) {
+    std::cout << "  " << bins << " frame times -> "
+              << fmt(apps::detection_map(Millis{bins * frame.value}, frame,
+                                         true),
+                     2)
+              << " mAP\n";
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// App QoE showdown: run the four "5G killer" apps over a segment of the
+// drive for every operator and print a side-by-side QoE scoreboard --
+// driving vs the best-static baseline.
+//
+//   ./build/examples/app_qoe_showdown [stride]
+#include <cstdlib>
+#include <iostream>
+
+#include "apps/app_campaign.h"
+#include "core/stats.h"
+#include "core/table.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+  using apps::AppKind;
+
+  apps::AppCampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = argc > 1 ? std::max(1, std::atoi(argv[1])) : 12;
+
+  std::cout << "Running AR / CAV / 360-video / cloud-gaming round-robin "
+               "along the drive (stride "
+            << cfg.cycle_stride << ")...\n\n";
+  apps::AppCampaign campaign(cfg);
+  const auto res = campaign.run();
+
+  TextTable t({"Operator", "AR E2E med (ms)", "AR mAP med",
+               "CAV E2E med (ms)", "video QoE med", "video rebuf med %",
+               "gaming bitrate med", "gaming drops med %"});
+  for (auto op : ran::kAllOperators) {
+    std::vector<double> ar_e2e, ar_map, cav_e2e, qoe, reb, br, drop;
+    for (const auto& r : res.for_op(op)) {
+      switch (r.app) {
+        case AppKind::Ar:
+          if (r.compression && r.median_e2e_ms > 0.0) {
+            ar_e2e.push_back(r.median_e2e_ms);
+            ar_map.push_back(r.map);
+          }
+          break;
+        case AppKind::Cav:
+          if (r.compression && r.median_e2e_ms > 0.0) {
+            cav_e2e.push_back(r.median_e2e_ms);
+          }
+          break;
+        case AppKind::Video:
+          qoe.push_back(r.qoe);
+          reb.push_back(100.0 * r.rebuffer_fraction);
+          break;
+        case AppKind::Gaming:
+          br.push_back(r.gaming_bitrate_mbps);
+          drop.push_back(100.0 * r.frame_drop_rate);
+          break;
+      }
+    }
+    t.add_row_values(std::string(to_string(op)),
+                     {median(ar_e2e), median(ar_map), median(cav_e2e),
+                      median(qoe), median(reb), median(br), median(drop)},
+                     1);
+  }
+  std::cout << "While driving:\n";
+  t.print(std::cout);
+
+  std::cout << "\nBest static baselines (facing the best 5G site of each "
+               "city):\n";
+  TextTable ts({"Operator", "AR E2E", "AR mAP", "CAV E2E", "video QoE",
+                "gaming bitrate"});
+  for (auto op : ran::kAllOperators) {
+    const auto sb = campaign.run_static_baseline(op);
+    double ar_best = 1e18, map_best = 0, cav_best = 1e18, qoe_best = -1e18,
+           br_best = 0;
+    for (const auto& r : sb) {
+      if (r.app == AppKind::Ar && r.compression && r.mean_e2e_ms > 0.0) {
+        ar_best = std::min(ar_best, r.mean_e2e_ms);
+        map_best = std::max(map_best, r.map);
+      }
+      if (r.app == AppKind::Cav && r.compression && r.mean_e2e_ms > 0.0) {
+        cav_best = std::min(cav_best, r.mean_e2e_ms);
+      }
+      if (r.app == AppKind::Video) qoe_best = std::max(qoe_best, r.qoe);
+      if (r.app == AppKind::Gaming) {
+        br_best = std::max(br_best, r.gaming_bitrate_mbps);
+      }
+    }
+    ts.add_row_values(std::string(to_string(op)),
+                      {ar_best, map_best, cav_best, qoe_best, br_best}, 1);
+  }
+  ts.print(std::cout);
+  std::cout << "\nThe gap between the two tables is the paper's headline: "
+               "driving QoE collapses even under 5G coverage.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Coverage mapping: renders the Fig. 1-style route strip chart as ASCII --
+// one row per operator and logging method, one character per 50 km of the
+// route. Shows the passive-vs-active coverage artifact at a glance.
+//
+//   ./build/examples/coverage_mapping [stride]
+//
+// Legend: '.' LTE/LTE-A   'l' 5G-low   'M' 5G-mid   'W' 5G-mmWave
+//         ' ' no samples  'x' no service
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/coverage.h"
+#include "trip/campaign.h"
+
+namespace {
+
+char glyph(const wheels::analysis::RouteBin& b) {
+  using wheels::radio::Tech;
+  if (!b.any_samples) return ' ';
+  if (!b.connected) return 'x';
+  switch (b.dominant) {
+    case Tech::LTE:
+    case Tech::LTE_A: return '.';
+    case Tech::NR_LOW: return 'l';
+    case Tech::NR_MID: return 'M';
+    case Tech::NR_MMWAVE: return 'W';
+  }
+  return '?';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+
+  trip::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = argc > 1 ? std::max(1, std::atoi(argv[1])) : 8;
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+  const double route_km = res.route_length.kilometers();
+  constexpr double kBinKm = 50.0;
+
+  std::cout << "LA -> Boston, one character per " << kBinKm << " km.\n"
+            << "Legend: '.' 4G  'l' 5G-low  'M' 5G-mid  'W' mmWave  "
+               "'x' no service\n\n";
+
+  // City mile markers.
+  std::string ruler(static_cast<std::size_t>(route_km / kBinKm) + 1, '-');
+  for (const auto& c : campaign.route().cities()) {
+    const auto i = static_cast<std::size_t>(
+        c.route_pos.kilometers() / kBinKm);
+    if (i < ruler.size()) ruler[i] = '|';
+  }
+  std::cout << "cities:             " << ruler << "\n";
+
+  for (const auto& log : res.logs) {
+    const auto active =
+        analysis::route_coverage_map_active(log.kpi, kBinKm, route_km);
+    const auto passive =
+        analysis::route_coverage_map_passive(log.passive, kBinKm, route_km);
+    std::string sa, sp;
+    for (const auto& b : active) sa += glyph(b);
+    for (const auto& b : passive) sp += glyph(b);
+    printf("%-9s XCAL:     %s\n", std::string(to_string(log.op)).c_str(),
+           sa.c_str());
+    printf("%-9s passive:  %s\n", "", sp.c_str());
+    std::cout << "          disagreement: "
+              << 100.0 * analysis::coverage_disagreement(passive, active)
+              << "% of bins\n\n";
+  }
+  std::cout << "The passive rows show the operator-policy artifact: "
+               "without heavy traffic the phones sit on 4G even inside 5G "
+               "coverage (AT&T passive shows no 5G at all).\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Multi-operator aggregation: the §8 recommendation, as a what-if. Runs
+// the campaign, aligns the three operators' concurrent throughput samples,
+// and shows what an MPTCP-style scheduler bonded across subscriptions
+// would have delivered.
+//
+//   ./build/examples/multi_operator_aggregation [stride]
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/stats.h"
+#include "core/table.h"
+#include "net/mptcp.h"
+#include "trip/campaign.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+
+  trip::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = argc > 1 ? std::max(1, std::atoi(argv[1])) : 12;
+  std::cout << "Simulating three phones in one car (stride "
+            << cfg.cycle_stride << ")...\n\n";
+
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  const auto& v = res.for_op(ran::OperatorId::Verizon).kpi;
+  const auto& t = res.for_op(ran::OperatorId::TMobile).kpi;
+  const auto& a = res.for_op(ran::OperatorId::ATT).kpi;
+  const std::size_t n = std::min({v.size(), t.size(), a.size()});
+
+  std::vector<std::vector<double>> series(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i].test != trip::TestType::DownlinkBulk) continue;
+    series[0].push_back(v[i].tput_mbps);
+    series[1].push_back(t[i].tput_mbps);
+    series[2].push_back(a[i].tput_mbps);
+  }
+  const auto agg = net::aggregate_series(series);
+
+  std::vector<double> best, bonded;
+  int dead_single = 0, dead_bonded = 0;
+  for (const auto& r : agg) {
+    best.push_back(r.best_single_mbps);
+    bonded.push_back(r.realistic_mbps);
+    if (r.best_single_mbps < 5.0) ++dead_single;
+    if (r.realistic_mbps < 5.0) ++dead_bonded;
+  }
+
+  TextTable tab({"Downlink series", "p25", "med", "p75", "%<5 Mbps"});
+  tab.add_row_values("best single operator",
+                     {percentile(best, 25), percentile(best, 50),
+                      percentile(best, 75),
+                      best.empty() ? 0.0 : 100.0 * dead_single / best.size()},
+                     1);
+  tab.add_row_values("MPTCP across all three",
+                     {percentile(bonded, 25), percentile(bonded, 50),
+                      percentile(bonded, 75),
+                      bonded.empty() ? 0.0
+                                     : 100.0 * dead_bonded / bonded.size()},
+                     1);
+  tab.print(std::cout);
+
+  std::cout << "\nEven the *best* single subscription is below 5 Mbps "
+            << fmt(100.0 * dead_single / std::max<size_t>(1, best.size()), 1)
+            << "% of the time; bonding all three cuts that to "
+            << fmt(100.0 * dead_bonded / std::max<size_t>(1, bonded.size()),
+                   1)
+            << "% -- operator outages are largely uncorrelated.\n";
+  return 0;
+}

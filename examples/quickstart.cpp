@@ -1,0 +1,76 @@
+// Quickstart: run a reduced-duty measurement campaign along the LA->Boston
+// route and print the headline numbers -- technology coverage and driving
+// throughput/RTT medians per operator.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [stride]
+//
+// `stride` (default 10) runs every stride-th test cycle; 1 reproduces the
+// full 8-day campaign.
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/coverage.h"
+#include "analysis/performance.h"
+#include "core/stats.h"
+#include "core/table.h"
+#include "trip/campaign.h"
+
+int main(int argc, char** argv) {
+  using namespace wheels;
+
+  trip::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = argc > 1 ? std::atoi(argv[1]) : 10;
+  if (cfg.cycle_stride < 1) cfg.cycle_stride = 1;
+
+  std::cout << "Driving LA -> Boston (stride " << cfg.cycle_stride
+            << ")...\n";
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+  std::cout << "Route: " << res.route_length.kilometers() << " km over "
+            << res.days << " days ("
+            << res.drive_time.minutes() / 60.0 << " h driving)\n\n";
+
+  TextTable cov({"Operator", "LTE", "LTE-A", "5G-low", "5G-mid", "5G-mmW",
+                 "no-svc", "5G total", "HS-5G"});
+  TextTable perf({"Operator", "DL med", "DL p75", "UL med", "UL p75",
+                  "RTT med", "<5 Mbps DL"});
+  for (const auto& log : res.logs) {
+    const auto shares = analysis::coverage_from_kpi(log.kpi);
+    cov.add_row_values(
+        std::string(to_string(log.op)),
+        {100 * shares.tech(radio::Tech::LTE),
+         100 * shares.tech(radio::Tech::LTE_A),
+         100 * shares.tech(radio::Tech::NR_LOW),
+         100 * shares.tech(radio::Tech::NR_MID),
+         100 * shares.tech(radio::Tech::NR_MMWAVE),
+         100 * shares.no_service(), 100 * shares.total_5g(),
+         100 * shares.high_speed_5g()},
+        1);
+
+    analysis::PerfFilter dl{};
+    dl.test = trip::TestType::DownlinkBulk;
+    analysis::PerfFilter ul{};
+    ul.test = trip::TestType::UplinkBulk;
+    const auto dls = analysis::tput_samples(log.kpi, dl);
+    const auto uls = analysis::tput_samples(log.kpi, ul);
+    const auto rtts = analysis::rtt_samples(log.rtt, {});
+    double below5 = 0;
+    for (double v : dls) {
+      if (v < 5.0) ++below5;
+    }
+    perf.add_row_values(
+        std::string(to_string(log.op)),
+        {percentile(dls, 50), percentile(dls, 75), percentile(uls, 50),
+         percentile(uls, 75), percentile(rtts, 50),
+         dls.empty() ? 0.0 : 100.0 * below5 / dls.size()},
+        1);
+  }
+  std::cout << "Technology coverage (% of miles, active tests):\n";
+  cov.print(std::cout);
+  std::cout << "\nDriving network performance (Mbps / ms):\n";
+  perf.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "analysis/correlation.h"
+
+#include <vector>
+
+#include "core/stats.h"
+
+namespace wheels::analysis {
+
+KpiCorrelations correlate(std::span<const trip::KpiSample> samples,
+                          trip::TestType test) {
+  std::vector<double> tput, rsrp, mcs, ca, bler, speed, hos;
+  for (const auto& s : samples) {
+    if (s.test != test || !s.connected) continue;
+    tput.push_back(s.tput_mbps);
+    rsrp.push_back(s.rsrp_dbm);
+    mcs.push_back(s.mcs);
+    ca.push_back(s.num_cc);
+    bler.push_back(s.bler);
+    speed.push_back(s.speed.value);
+    hos.push_back(static_cast<double>(s.handovers));
+  }
+  KpiCorrelations out;
+  out.samples = tput.size();
+  out.rsrp = pearson(tput, rsrp);
+  out.mcs = pearson(tput, mcs);
+  out.ca = pearson(tput, ca);
+  out.bler = pearson(tput, bler);
+  out.speed = pearson(tput, speed);
+  out.handovers = pearson(tput, hos);
+  return out;
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,25 @@
+// KPI correlation analysis (Table 2): Pearson's r between 500 ms
+// throughput and RSRP / MCS / CA / BLER / vehicle speed / handovers.
+#pragma once
+
+#include <span>
+
+#include "trip/records.h"
+
+namespace wheels::analysis {
+
+struct KpiCorrelations {
+  double rsrp = 0.0;
+  double mcs = 0.0;
+  double ca = 0.0;
+  double bler = 0.0;
+  double speed = 0.0;
+  double handovers = 0.0;
+  std::size_t samples = 0;
+};
+
+// Correlations over the connected 500 ms samples of one direction.
+[[nodiscard]] KpiCorrelations correlate(
+    std::span<const trip::KpiSample> samples, trip::TestType test);
+
+}  // namespace wheels::analysis

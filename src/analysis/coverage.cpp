@@ -1,0 +1,117 @@
+#include "analysis/coverage.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace wheels::analysis {
+namespace {
+
+constexpr double kSampleIntervalPassiveS = 1.0;  // passive logs at 1 Hz
+constexpr double kSampleIntervalKpiS = 0.5;      // XCAL windows are 500 ms
+
+void normalize(TechShares& ts, double total_m) {
+  double sum = 0.0;
+  for (double s : ts.share) sum += s;
+  if (sum > 0.0) {
+    for (double& s : ts.share) s /= sum;
+  }
+  ts.total_miles = total_m / 1609.344;
+}
+
+template <typename Sample>
+std::size_t tech_index(const Sample& s) {
+  return s.connected ? static_cast<std::size_t>(s.tech) : 5u;
+}
+
+}  // namespace
+
+TechShares coverage_from_passive(
+    std::span<const trip::PassiveSample> samples) {
+  TechShares ts;
+  double total_m = 0.0;
+  for (const auto& s : samples) {
+    const double d = s.speed.meters_per_second() * kSampleIntervalPassiveS;
+    ts.share[tech_index(s)] += d;
+    total_m += d;
+  }
+  normalize(ts, total_m);
+  return ts;
+}
+
+TechShares coverage_from_kpi(std::span<const trip::KpiSample> samples,
+                             const KpiFilter& f) {
+  TechShares ts;
+  double total_m = 0.0;
+  for (const auto& s : samples) {
+    if (f.only_downlink && s.test != trip::TestType::DownlinkBulk) continue;
+    if (f.only_uplink && s.test != trip::TestType::UplinkBulk) continue;
+    if (f.tz >= 0 && static_cast<int>(s.tz) != f.tz) continue;
+    if (s.speed.value < f.min_mph || s.speed.value > f.max_mph) continue;
+    const double d = s.speed.meters_per_second() * kSampleIntervalKpiS;
+    ts.share[tech_index(s)] += d;
+    total_m += d;
+  }
+  normalize(ts, total_m);
+  return ts;
+}
+
+namespace {
+
+template <typename Sample>
+std::vector<RouteBin> route_map(std::span<const Sample> samples,
+                                double bin_km, double route_km) {
+  const auto nbins =
+      static_cast<std::size_t>(std::ceil(route_km / bin_km));
+  // Count sample-time per tech per bin.
+  std::vector<std::array<double, 6>> counts(nbins);
+  for (const auto& s : samples) {
+    auto b = static_cast<std::size_t>(s.position.value / 1000.0 / bin_km);
+    if (b >= nbins) b = nbins - 1;
+    counts[b][tech_index(s)] += 1.0;
+  }
+  std::vector<RouteBin> bins(nbins);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    bins[b].start_km = static_cast<double>(b) * bin_km;
+    const auto& c = counts[b];
+    double total = 0.0;
+    for (double v : c) total += v;
+    bins[b].any_samples = total > 0.0;
+    if (!bins[b].any_samples) continue;
+    const auto best = std::max_element(c.begin(), c.begin() + 5);
+    bins[b].connected = *best > c[5];
+    bins[b].dominant =
+        static_cast<radio::Tech>(best - c.begin());
+  }
+  return bins;
+}
+
+}  // namespace
+
+std::vector<RouteBin> route_coverage_map_passive(
+    std::span<const trip::PassiveSample> samples, double bin_km,
+    double route_km) {
+  return route_map(samples, bin_km, route_km);
+}
+
+std::vector<RouteBin> route_coverage_map_active(
+    std::span<const trip::KpiSample> samples, double bin_km,
+    double route_km) {
+  return route_map(samples, bin_km, route_km);
+}
+
+double coverage_disagreement(std::span<const RouteBin> passive,
+                             std::span<const RouteBin> active) {
+  const std::size_t n = std::min(passive.size(), active.size());
+  std::size_t both = 0, differ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!passive[i].any_samples || !active[i].any_samples) continue;
+    ++both;
+    const bool p5 = passive[i].connected && radio::is_5g(passive[i].dominant);
+    const bool a5 = active[i].connected && radio::is_5g(active[i].dominant);
+    if (p5 != a5) ++differ;
+  }
+  return both ? static_cast<double>(differ) / static_cast<double>(both) : 0.0;
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,68 @@
+// Coverage analysis (Figs. 1-2): distance-weighted technology shares.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "radio/technology.h"
+#include "trip/records.h"
+
+namespace wheels::analysis {
+
+// Share of driven distance per technology; index 5 = no service.
+struct TechShares {
+  std::array<double, 6> share{};  // fractions summing to ~1
+  double total_miles = 0.0;
+
+  [[nodiscard]] double tech(radio::Tech t) const {
+    return share[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] double no_service() const { return share[5]; }
+  [[nodiscard]] double total_5g() const {
+    return tech(radio::Tech::NR_LOW) + tech(radio::Tech::NR_MID) +
+           tech(radio::Tech::NR_MMWAVE);
+  }
+  [[nodiscard]] double high_speed_5g() const {
+    return tech(radio::Tech::NR_MID) + tech(radio::Tech::NR_MMWAVE);
+  }
+};
+
+// Filter predicate support: compute shares over any sample subset.
+// Samples are weighted by the distance they represent (speed x interval).
+
+[[nodiscard]] TechShares coverage_from_passive(
+    std::span<const trip::PassiveSample> samples);
+
+struct KpiFilter {
+  bool only_downlink = false;
+  bool only_uplink = false;
+  int tz = -1;           // -1 = all, else TimeZone value
+  double min_mph = -1.0;
+  double max_mph = 1e9;
+};
+
+[[nodiscard]] TechShares coverage_from_kpi(
+    std::span<const trip::KpiSample> samples, const KpiFilter& f = KpiFilter{});
+
+// Fig. 1: dominant technology per route bin, comparing the passive
+// handover-logger view with the active XCAL view.
+struct RouteBin {
+  double start_km = 0.0;
+  radio::Tech dominant = radio::Tech::LTE;
+  bool any_samples = false;
+  bool connected = false;
+};
+
+[[nodiscard]] std::vector<RouteBin> route_coverage_map_passive(
+    std::span<const trip::PassiveSample> samples, double bin_km,
+    double route_km);
+[[nodiscard]] std::vector<RouteBin> route_coverage_map_active(
+    std::span<const trip::KpiSample> samples, double bin_km,
+    double route_km);
+
+// Fraction of route bins where the two maps disagree on 4G-vs-5G.
+[[nodiscard]] double coverage_disagreement(
+    std::span<const RouteBin> passive, std::span<const RouteBin> active);
+
+}  // namespace wheels::analysis

@@ -1,0 +1,25 @@
+#include "analysis/dataset_stats.h"
+
+namespace wheels::analysis {
+
+DatasetStats dataset_stats(const trip::CampaignResult& res) {
+  DatasetStats st;
+  st.total_km = res.route_length.kilometers();
+  st.days = res.days;
+  for (const auto& log : res.logs) {
+    const auto i = static_cast<std::size_t>(log.op);
+    st.unique_cells[i] = log.unique_cells;
+    // Table 1 counts the dedicated handover-logger phones, which ran for
+    // the whole trip (the test phones' handovers overlap in time).
+    st.handovers[i] = log.passive_handovers.size();
+    st.runtime_min[i] = log.experiment_runtime.minutes();
+    for (const auto& t : log.tests) {
+      const double gb = t.bytes_transferred / 1e9;
+      if (t.test == trip::TestType::DownlinkBulk) st.rx_gb += gb;
+      if (t.test == trip::TestType::UplinkBulk) st.tx_gb += gb;
+    }
+  }
+  return st;
+}
+
+}  // namespace wheels::analysis

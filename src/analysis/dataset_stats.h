@@ -1,0 +1,24 @@
+// Dataset statistics (Table 1).
+#pragma once
+
+#include "trip/campaign.h"
+
+namespace wheels::analysis {
+
+struct DatasetStats {
+  double total_km = 0.0;
+  int days = 0;
+  int states = 14;          // route metadata (constant of the itinerary)
+  int major_cities = 10;
+  int timezones = 4;
+  // Per operator, indexed by OperatorId.
+  std::array<std::size_t, 3> unique_cells{};
+  std::array<std::size_t, 3> handovers{};
+  std::array<double, 3> runtime_min{};
+  double rx_gb = 0.0;  // downlink bytes over all operators
+  double tx_gb = 0.0;
+};
+
+[[nodiscard]] DatasetStats dataset_stats(const trip::CampaignResult& res);
+
+}  // namespace wheels::analysis

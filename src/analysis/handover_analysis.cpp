@@ -1,0 +1,96 @@
+#include "analysis/handover_analysis.h"
+
+#include <algorithm>
+
+namespace wheels::analysis {
+
+std::vector<double> handovers_per_mile(
+    std::span<const trip::TestSummary> tests, trip::TestType test) {
+  std::vector<double> out;
+  for (const auto& t : tests) {
+    if (t.test != test) continue;
+    const double miles = t.distance.miles();
+    if (miles < 0.05) continue;  // standing still: per-mile rate undefined
+    out.push_back(static_cast<double>(t.handovers) / miles);
+  }
+  return out;
+}
+
+std::vector<double> handover_durations(
+    std::span<const trip::TestSummary> tests,
+    std::span<const ran::HandoverRecord> handovers, trip::TestType test) {
+  std::vector<double> out;
+  // Handover records are time-ordered (appended during the run), as are
+  // tests; a two-pointer sweep collects the records inside matching tests.
+  std::size_t h = 0;
+  for (const auto& t : tests) {
+    const double t0 = t.start.ms_since_epoch;
+    const double t1 = t0 + t.duration.value;
+    while (h < handovers.size() &&
+           handovers[h].time.ms_since_epoch < t0) {
+      ++h;
+    }
+    std::size_t k = h;
+    while (k < handovers.size() && handovers[k].time.ms_since_epoch < t1) {
+      if (t.test == test) out.push_back(handovers[k].duration.value);
+      ++k;
+    }
+  }
+  return out;
+}
+
+std::vector<HoImpact> handover_impacts(
+    std::span<const trip::KpiSample> samples,
+    std::span<const ran::HandoverRecord> handovers, trip::TestType test) {
+  std::vector<HoImpact> out;
+  // Index handover records by time for kind lookup.
+  std::size_t h_lo = 0;
+
+  for (std::size_t i = 0; i + 2 < samples.size(); ++i) {
+    if (i < 2) continue;
+    const auto& s = samples[i];
+    if (s.test != test || s.handovers == 0) continue;
+    // Require the +/-2 window neighbourhood to be within the same test and
+    // itself handover-free (a clean T1,T2,[T3],T4,T5 quintuple).
+    bool clean = true;
+    for (std::size_t j = i - 2; j <= i + 2; ++j) {
+      if (samples[j].test_id != s.test_id) {
+        clean = false;
+        break;
+      }
+      if (j != i && samples[j].handovers != 0) {
+        clean = false;
+        break;
+      }
+    }
+    if (!clean) continue;
+
+    const double t1 = samples[i - 2].tput_mbps;
+    const double t2 = samples[i - 1].tput_mbps;
+    const double t3 = samples[i].tput_mbps;
+    const double t4 = samples[i + 1].tput_mbps;
+    const double t5 = samples[i + 2].tput_mbps;
+
+    HoImpact imp;
+    imp.delta_t1 = t3 - (t2 + t4) / 2.0;
+    imp.delta_t2 = (t4 + t5) / 2.0 - (t1 + t2) / 2.0;
+
+    // Find the handover record inside this window (window end = s.time).
+    const double w_end = s.time.ms_since_epoch;
+    const double w_start = w_end - 500.0;
+    while (h_lo < handovers.size() &&
+           handovers[h_lo].time.ms_since_epoch < w_start) {
+      ++h_lo;
+    }
+    for (std::size_t k = h_lo; k < handovers.size(); ++k) {
+      const double t = handovers[k].time.ms_since_epoch;
+      if (t >= w_end) break;
+      imp.kind = handovers[k].kind();
+      break;
+    }
+    out.push_back(imp);
+  }
+  return out;
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,37 @@
+// Handover analysis (Fig. 11-12): frequency, duration, and throughput
+// impact (during-HO drop dT1 and post-vs-pre change dT2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "radio/technology.h"
+#include "trip/records.h"
+
+namespace wheels::analysis {
+
+// Fig. 11a: handovers per mile for each bulk test.
+[[nodiscard]] std::vector<double> handovers_per_mile(
+    std::span<const trip::TestSummary> tests, trip::TestType test);
+
+// Fig. 11b: durations (ms) of handovers that occurred inside bulk tests of
+// the given direction.
+[[nodiscard]] std::vector<double> handover_durations(
+    std::span<const trip::TestSummary> tests,
+    std::span<const ran::HandoverRecord> handovers, trip::TestType test);
+
+// One HO-impact measurement around a 500 ms window that contained >=1 HO.
+struct HoImpact {
+  double delta_t1 = 0.0;  // T3 - (T2+T4)/2  (during-HO drop)
+  double delta_t2 = 0.0;  // (T4+T5)/2 - (T1+T2)/2  (post minus pre)
+  radio::HandoverKind kind = radio::HandoverKind::FourToFour;
+};
+
+// Fig. 12: scan the 500 ms series of every test for HO windows with two
+// clean windows on each side and compute dT1/dT2. HO kind is taken from
+// the handover record(s) in that window (the first one).
+[[nodiscard]] std::vector<HoImpact> handover_impacts(
+    std::span<const trip::KpiSample> samples,
+    std::span<const ran::HandoverRecord> handovers, trip::TestType test);
+
+}  // namespace wheels::analysis

@@ -1,0 +1,42 @@
+// Longer-timescale analysis (Figs. 9-10, Table 3): per-test means and
+// fluctuation, performance vs high-speed-5G time share, and the Ookla
+// SpeedTest comparison.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trip/records.h"
+
+namespace wheels::analysis {
+
+// Per-test means (Mbps or ms) for one test type.
+[[nodiscard]] std::vector<double> test_means(
+    std::span<const trip::TestSummary> tests, trip::TestType test);
+
+// Per-test stddev as percent of mean (the fluctuation metric of Fig. 9).
+[[nodiscard]] std::vector<double> test_cv_percent(
+    std::span<const trip::TestSummary> tests, trip::TestType test);
+
+// Fig. 10: bucket per-test means by the test's high-speed-5G time share.
+struct Hs5gBucket {
+  double lo = 0.0, hi = 0.0;   // share range
+  std::size_t count = 0;
+  double median = 0.0;
+  double p90 = 0.0;
+};
+
+[[nodiscard]] std::vector<Hs5gBucket> by_hs5g_share(
+    std::span<const trip::TestSummary> tests, trip::TestType test,
+    std::size_t buckets = 4);
+
+// Table 3 reference: Ookla Speedtest medians for Q3 2022 (from the paper).
+struct OoklaRow {
+  const char* op;
+  double dl_mbps;
+  double ul_mbps;
+  double rtt_ms;
+};
+[[nodiscard]] std::span<const OoklaRow> ookla_q3_2022();
+
+}  // namespace wheels::analysis

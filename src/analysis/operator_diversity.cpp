@@ -1,0 +1,63 @@
+#include "analysis/operator_diversity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::analysis {
+namespace {
+
+bool is_ht(const trip::KpiSample& s) {
+  return s.connected && radio::is_high_speed(s.tech);
+}
+
+}  // namespace
+
+std::vector<PairedSample> pair_samples(std::span<const trip::KpiSample> a,
+                                       std::span<const trip::KpiSample> b,
+                                       trip::TestType test) {
+  // Both streams are time-ordered; walk them in lockstep matching on
+  // (test_id, timestamp) within half a window.
+  std::vector<PairedSample> out;
+  std::size_t j = 0;
+  for (const auto& sa : a) {
+    if (sa.test != test) continue;
+    while (j < b.size() &&
+           (b[j].test != test ||
+            b[j].time.ms_since_epoch < sa.time.ms_since_epoch - 250.0)) {
+      ++j;
+    }
+    if (j >= b.size()) break;
+    const auto& sb = b[j];
+    if (std::abs(sb.time.ms_since_epoch - sa.time.ms_since_epoch) > 250.0) {
+      continue;
+    }
+    PairedSample p;
+    p.diff_mbps = sa.tput_mbps - sb.tput_mbps;
+    const bool ha = is_ht(sa), hb = is_ht(sb);
+    p.bin = ha ? (hb ? TechBin::HtHt : TechBin::HtLt)
+               : (hb ? TechBin::LtHt : TechBin::LtLt);
+    out.push_back(p);
+  }
+  return out;
+}
+
+PairAnalysis analyze_pair(std::span<const PairedSample> pairs) {
+  PairAnalysis out;
+  if (pairs.empty()) return out;
+  std::size_t wins = 0;
+  for (const auto& p : pairs) {
+    const auto b = static_cast<std::size_t>(p.bin);
+    out.bin_fraction[b] += 1.0;
+    out.diffs_by_bin[b].push_back(p.diff_mbps);
+    out.all_diffs.push_back(p.diff_mbps);
+    if (p.diff_mbps > 0.0) ++wins;
+  }
+  for (double& f : out.bin_fraction) {
+    f /= static_cast<double>(pairs.size());
+  }
+  out.first_wins = static_cast<double>(wins) /
+                   static_cast<double>(pairs.size());
+  return out;
+}
+
+}  // namespace wheels::analysis

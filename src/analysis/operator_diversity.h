@@ -1,0 +1,48 @@
+// Operator-diversity analysis (Fig. 6): pairwise throughput differences of
+// concurrent samples and their HT/LT technology-bin decomposition.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "ran/operator_profile.h"
+#include "trip/records.h"
+
+namespace wheels::analysis {
+
+// HT = high-throughput technology (5G mid-band or mmWave), LT = the rest.
+enum class TechBin : std::uint8_t { HtHt, HtLt, LtHt, LtLt };
+
+[[nodiscard]] constexpr std::string_view to_string(TechBin b) {
+  switch (b) {
+    case TechBin::HtHt: return "HT-HT";
+    case TechBin::HtLt: return "HT-LT";
+    case TechBin::LtHt: return "LT-HT";
+    case TechBin::LtLt: return "LT-LT";
+  }
+  return "?";
+}
+
+struct PairedSample {
+  double diff_mbps = 0.0;  // first operator minus second operator
+  TechBin bin = TechBin::LtLt;
+};
+
+// Pair the 500 ms samples of two operators that were collected at the same
+// instant of the same test (the campaign runs the phones in lockstep).
+[[nodiscard]] std::vector<PairedSample> pair_samples(
+    std::span<const trip::KpiSample> a, std::span<const trip::KpiSample> b,
+    trip::TestType test);
+
+struct PairAnalysis {
+  std::array<double, 4> bin_fraction{};  // by TechBin
+  std::array<std::vector<double>, 4> diffs_by_bin;
+  std::vector<double> all_diffs;
+  // Fraction of samples where the first operator wins.
+  double first_wins = 0.0;
+};
+
+[[nodiscard]] PairAnalysis analyze_pair(std::span<const PairedSample> pairs);
+
+}  // namespace wheels::analysis

@@ -1,0 +1,51 @@
+// Throughput / RTT distribution extraction (Figs. 3-5, 7-8).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/stats.h"
+#include "net/server.h"
+#include "radio/technology.h"
+#include "trip/records.h"
+
+namespace wheels::analysis {
+
+struct PerfFilter {
+  std::optional<trip::TestType> test;
+  std::optional<radio::Tech> tech;
+  std::optional<net::ServerKind> server;
+  std::optional<TimeZone> tz;
+  double min_mph = -1.0;
+  double max_mph = 1e9;
+  bool connected_only = false;
+};
+
+// 500 ms throughput samples matching the filter (Mbps).
+[[nodiscard]] std::vector<double> tput_samples(
+    std::span<const trip::KpiSample> samples, const PerfFilter& f);
+
+// Individual successful echo RTTs matching the filter (ms).
+[[nodiscard]] std::vector<double> rtt_samples(
+    std::span<const trip::RttSample> samples, const PerfFilter& f);
+
+// Speed-bin scatter summary for Figs. 7-8: per (tech, speed bin) count +
+// quantiles.
+struct SpeedBinStats {
+  radio::Tech tech = radio::Tech::LTE;
+  int bin = 0;  // 0: 0-20 mph, 1: 20-60, 2: 60+
+  std::size_t count = 0;
+  double p10 = 0.0, median = 0.0, p90 = 0.0, max = 0.0;
+};
+
+[[nodiscard]] int speed_bin(Mph v);
+[[nodiscard]] const char* speed_bin_label(int bin);
+
+[[nodiscard]] std::vector<SpeedBinStats> tput_by_speed_and_tech(
+    std::span<const trip::KpiSample> samples, trip::TestType test);
+
+[[nodiscard]] std::vector<SpeedBinStats> rtt_by_speed_and_tech(
+    std::span<const trip::RttSample> samples);
+
+}  // namespace wheels::analysis

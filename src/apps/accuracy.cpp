@@ -1,0 +1,50 @@
+#include "apps/accuracy.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace wheels::apps {
+namespace {
+
+// Table 5: mAP per E2E latency bin (frame times), without / with
+// compression.
+constexpr std::array<double, 30> kMapNoCompression = {
+    38.45, 37.22, 36.04, 34.65, 33.36, 32.20, 31.08, 28.03, 27.01, 25.62,
+    25.77, 23.29, 22.75, 22.48, 21.59, 20.59, 20.11, 19.53, 18.40, 18.01,
+    17.52, 16.96, 16.59, 15.41, 15.78, 15.86, 14.81, 14.70, 14.44, 14.05};
+
+constexpr std::array<double, 30> kMapWithCompression = {
+    38.45, 36.14, 34.75, 33.12, 31.82, 30.50, 29.53, 26.99, 25.73, 25.21,
+    24.35, 22.44, 21.56, 21.64, 21.16, 20.35, 19.69, 18.95, 17.61, 17.85,
+    17.00, 16.55, 15.97, 15.16, 14.94, 15.37, 14.71, 13.77, 13.62, 13.70};
+
+constexpr double kFloorMap = 10.0;
+
+}  // namespace
+
+double detection_map(Millis e2e, Millis frame_interval,
+                     bool with_compression) {
+  const auto& table =
+      with_compression ? kMapWithCompression : kMapNoCompression;
+  const double ft = std::max(frame_interval.value, 1.0);
+  const double bins = std::max(0.0, e2e.value / ft);
+  const auto bin = static_cast<std::size_t>(bins);
+  if (bin < table.size()) return table[bin];
+  // Beyond the table: exponential decay from the last entry to the floor.
+  const double overshoot = bins - static_cast<double>(table.size());
+  return kFloorMap +
+         (table.back() - kFloorMap) * std::exp(-overshoot / 10.0);
+}
+
+double run_map(std::span<const double> e2e_ms, Millis frame_interval,
+               bool with_compression) {
+  if (e2e_ms.empty()) return 0.0;  // nothing offloaded: detector blind
+  double sum = 0.0;
+  for (double v : e2e_ms) {
+    sum += detection_map(Millis{v}, frame_interval, with_compression);
+  }
+  return sum / static_cast<double>(e2e_ms.size());
+}
+
+}  // namespace wheels::apps

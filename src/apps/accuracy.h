@@ -1,0 +1,27 @@
+// Object-detection accuracy model (Appendix C.2, Table 5).
+//
+// The AR app runs on-device local tracking that propagates the latest
+// server-returned bounding boxes forward; accuracy (mAP on Argoverse with
+// Faster R-CNN) therefore degrades as a function of the end-to-end
+// offloading latency measured in frame times. The study tabulated this
+// relation offline; we embed the table.
+#pragma once
+
+#include <span>
+
+#include "core/units.h"
+
+namespace wheels::apps {
+
+// mAP (percent) at an E2E latency of `e2e` given a frame interval. The
+// table has 30 one-frame-time bins; latencies beyond the table decay
+// smoothly toward a floor of ~10 (tracker fully stale).
+[[nodiscard]] double detection_map(Millis e2e, Millis frame_interval,
+                                   bool with_compression);
+
+// Run-level accuracy: the mean over the per-frame mAPs of a run's E2E
+// latency samples.
+[[nodiscard]] double run_map(std::span<const double> e2e_ms,
+                             Millis frame_interval, bool with_compression);
+
+}  // namespace wheels::apps

@@ -1,0 +1,253 @@
+#include "apps/app_campaign.h"
+
+#include <cmath>
+
+#include "apps/accuracy.h"
+#include "trip/region.h"
+#include "trip/route.h"
+
+namespace wheels::apps {
+namespace {
+
+using radio::Tech;
+using ran::OperatorId;
+
+std::vector<net::EdgeSite> edge_sites_from(const trip::Route& route) {
+  std::vector<net::EdgeSite> sites;
+  for (const auto& c : route.cities()) {
+    if (c.has_edge_server) sites.push_back({c.name, c.route_pos});
+  }
+  return sites;
+}
+
+constexpr Millis kArFrameInterval{1'000.0 / 30.0};
+
+// Fill the app-specific metric fields of a record.
+void fill_offload(AppRunRecord& rec, const OffloadRunResult& r,
+                  bool is_ar, bool compression) {
+  rec.mean_e2e_ms = r.mean_e2e_ms;
+  rec.median_e2e_ms = r.median_e2e_ms;
+  rec.offloaded_fps = r.offloaded_fps;
+  rec.e2e_ms = r.e2e_ms;
+  rec.frac_high_speed_5g = r.frac_high_speed_5g;
+  if (is_ar) {
+    rec.map = run_map(r.e2e_ms, kArFrameInterval, compression);
+  }
+}
+
+}  // namespace
+
+AppCampaign::AppCampaign(AppCampaignConfig cfg) : cfg_(cfg) {}
+
+AppCampaignResult AppCampaign::run() {
+  AppCampaignResult result;
+  const trip::Route route = trip::Route::cross_country();
+  Rng rng(cfg_.seed);
+  const ran::Corridor corridor =
+      trip::build_corridor(route, rng.fork("corridor"));
+  const net::ServerSelector servers(edge_sites_from(route));
+
+  for (OperatorId op : ran::kAllOperators) {
+    const auto oi = static_cast<std::size_t>(op);
+    const auto& profile = ran::operator_profile(op);
+    const ran::Deployment dep = ran::Deployment::generate(
+        corridor, profile, rng.fork(to_string(op)));
+    // Same trip seed for every operator: the phones share the car.
+    trip::TripSimulator trip(route, corridor, rng.fork("trip"), cfg_.drive);
+    ran::UeSimulator ue(corridor, dep, profile,
+                        rng.fork(to_string(op)).fork("app-ue"),
+                        ran::TrafficProfile::Interactive);
+    Rng app_rng = rng.fork(to_string(op)).fork("apps");
+
+    LinkEnv env;
+    env.step = [&](Millis dt) {
+      const auto pt = trip.advance(dt);
+      return ue.step(pt.time, pt.position, pt.speed, dt);
+    };
+
+    auto gap = [&](Millis duration) {
+      ue.set_traffic(ran::TrafficProfile::Idle);
+      for (Millis el{0.0}; el.value < duration.value && !trip.finished();
+           el += Millis{100.0}) {
+        const auto pt = trip.advance(Millis{100.0});
+        ue.step(pt.time, pt.position, pt.speed, Millis{100.0});
+      }
+      ue.set_traffic(ran::TrafficProfile::Interactive);
+    };
+
+    auto begin_record = [&](AppKind app, bool compression) {
+      AppRunRecord rec;
+      rec.app = app;
+      rec.compression = compression;
+      rec.op = op;
+      rec.start = trip.current().time;
+      rec.position = trip.current().position;
+      rec.tz = corridor.at(rec.position).tz;
+      const auto ep = servers.select(op, rec.position, rec.tz);
+      rec.server = ep.kind;
+      env.path_one_way = ep.one_way_delay;
+      return rec;
+    };
+
+    int cycle = 0;
+    while (!trip.finished()) {
+      if (cfg_.cycle_stride > 1 && (cycle % cfg_.cycle_stride) != 0) {
+        // 4x20s offload + 180s video + 60s gaming + 6 gaps.
+        gap(Millis{4.0 * 20'000.0 + 180'000.0 + 60'000.0 +
+                   6.0 * cfg_.gap.value});
+        ++cycle;
+        continue;
+      }
+      ++cycle;
+
+      for (const bool is_ar : {true, false}) {
+        for (const bool compression : {false, true}) {
+          if (trip.finished()) break;
+          auto rec = begin_record(is_ar ? AppKind::Ar : AppKind::Cav,
+                                  compression);
+          const std::size_t ho_base = ue.handovers().size();
+          const auto cfg = is_ar ? ar_config(compression)
+                                 : cav_config(compression);
+          const auto r = run_offload(cfg, env, app_rng.fork(cycle * 8 +
+                                                            (is_ar ? 0 : 2) +
+                                                            compression));
+          fill_offload(rec, r, is_ar, compression);
+          rec.handovers =
+              static_cast<int>(ue.handovers().size() - ho_base);
+          result.runs[oi].push_back(std::move(rec));
+          gap(cfg_.gap);
+        }
+      }
+
+      if (trip.finished()) break;
+      {
+        auto rec = begin_record(AppKind::Video, false);
+        const std::size_t ho_base = ue.handovers().size();
+        const auto r = run_video(VideoConfig{}, env);
+        rec.qoe = r.avg_qoe;
+        rec.avg_bitrate_mbps = r.avg_bitrate_mbps;
+        rec.rebuffer_fraction = r.rebuffer_fraction;
+        rec.frac_high_speed_5g = r.frac_high_speed_5g;
+        rec.handovers = static_cast<int>(ue.handovers().size() - ho_base);
+        result.runs[oi].push_back(std::move(rec));
+        gap(cfg_.gap);
+      }
+
+      if (trip.finished()) break;
+      {
+        auto rec = begin_record(AppKind::Gaming, false);
+        const std::size_t ho_base = ue.handovers().size();
+        const auto r =
+            run_gaming(GamingConfig{}, env, app_rng.fork(cycle * 8 + 7));
+        rec.gaming_bitrate_mbps = r.median_bitrate_mbps;
+        rec.gaming_latency_ms = r.mean_latency_ms;
+        rec.frame_drop_rate = r.frame_drop_rate;
+        rec.frac_high_speed_5g = r.frac_high_speed_5g;
+        rec.handovers = static_cast<int>(ue.handovers().size() - ho_base);
+        result.runs[oi].push_back(std::move(rec));
+        gap(cfg_.gap);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
+  std::vector<AppRunRecord> out;
+  const trip::Route route = trip::Route::cross_country();
+  Rng rng(cfg_.seed);
+  const ran::Corridor corridor =
+      trip::build_corridor(route, rng.fork("corridor"));
+  const net::ServerSelector servers(edge_sites_from(route));
+  const auto& profile = ran::operator_profile(op);
+  const ran::Deployment dep =
+      ran::Deployment::generate(corridor, profile, rng.fork(to_string(op)));
+  Rng srng = rng.fork(to_string(op)).fork("static-apps");
+
+  for (const auto& city : route.cities()) {
+    // Nearest mmWave site in the urban core, else mid-band.
+    const ran::Cell* site = nullptr;
+    for (Tech tech : {Tech::NR_MMWAVE, Tech::NR_MID}) {
+      double best_d = 22'000.0;
+      for (const auto& c : dep.cells(tech)) {
+        const double d = std::abs(c.route_pos.value - city.route_pos.value);
+        if (d < best_d) {
+          best_d = d;
+          site = &c;
+        }
+      }
+      if (site) break;
+    }
+    if (!site) continue;
+
+    const Meters pos = site->route_pos;
+    const TimeZone tz = corridor.at(pos).tz;
+    const auto ep = servers.select(op, pos, tz);
+    ran::UeSimulator ue(corridor, dep, profile, srng.fork(city.name),
+                        ran::TrafficProfile::Interactive);
+    ue.set_favourable_conditions(true);
+    CivilTime noon;
+    noon.day = 1;
+    noon.hour = 12;
+    SimTime t = from_civil(noon, tz);
+
+    LinkEnv env;
+    env.path_one_way = ep.one_way_delay;
+    env.step = [&](Millis dt) {
+      const auto link = ue.step(t, pos, Mph{0.0}, dt);
+      t += dt;
+      return link;
+    };
+
+    auto make_record = [&](AppKind app, bool compression) {
+      AppRunRecord rec;
+      rec.app = app;
+      rec.compression = compression;
+      rec.op = op;
+      rec.start = t;
+      rec.position = pos;
+      rec.tz = tz;
+      rec.server = ep.kind;
+      return rec;
+    };
+
+    for (int rep = 0; rep < 3; ++rep) {
+      for (const bool is_ar : {true, false}) {
+        for (const bool compression : {false, true}) {
+          auto rec = make_record(is_ar ? AppKind::Ar : AppKind::Cav,
+                                 compression);
+          const auto cfg =
+              is_ar ? ar_config(compression) : cav_config(compression);
+          const auto r =
+              run_offload(cfg, env, srng.fork(city.name).fork(rep * 8 + 2 *
+                                                              is_ar +
+                                                              compression));
+          fill_offload(rec, r, is_ar, compression);
+          out.push_back(std::move(rec));
+        }
+      }
+      {
+        auto rec = make_record(AppKind::Video, false);
+        const auto r = run_video(VideoConfig{}, env);
+        rec.qoe = r.avg_qoe;
+        rec.avg_bitrate_mbps = r.avg_bitrate_mbps;
+        rec.rebuffer_fraction = r.rebuffer_fraction;
+        rec.frac_high_speed_5g = r.frac_high_speed_5g;
+        out.push_back(std::move(rec));
+      }
+      {
+        auto rec = make_record(AppKind::Gaming, false);
+        const auto r = run_gaming(GamingConfig{}, env,
+                                  srng.fork(city.name).fork(100 + rep));
+        rec.gaming_bitrate_mbps = r.median_bitrate_mbps;
+        rec.gaming_latency_ms = r.mean_latency_ms;
+        rec.frame_drop_rate = r.frame_drop_rate;
+        rec.frac_high_speed_5g = r.frac_high_speed_5g;
+        out.push_back(std::move(rec));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wheels::apps

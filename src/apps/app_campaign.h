@@ -1,0 +1,97 @@
+// Runs the four "5G killer" apps along the drive, round-robin, one phone
+// per operator (all phones share the car, hence the trajectory), plus the
+// per-city best-static baselines.
+//
+// Cycle per operator: AR w/o compression, AR w/ compression, CAV w/o,
+// CAV w/ (20 s each), 360-video (180 s), cloud gaming (60 s), separated by
+// short gaps -- the study's round-robin of §3.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "apps/gaming.h"
+#include "apps/offload.h"
+#include "apps/video.h"
+#include "core/rng.h"
+#include "net/server.h"
+#include "ran/operator_profile.h"
+#include "trip/trip_simulator.h"
+
+namespace wheels::apps {
+
+enum class AppKind : std::uint8_t { Ar, Cav, Video, Gaming };
+
+[[nodiscard]] constexpr std::string_view to_string(AppKind a) {
+  switch (a) {
+    case AppKind::Ar: return "AR";
+    case AppKind::Cav: return "CAV";
+    case AppKind::Video: return "360-video";
+    case AppKind::Gaming: return "cloud-gaming";
+  }
+  return "?";
+}
+
+// One app run with its mobility/radio context. Metric fields not relevant
+// to the app kind stay zero.
+struct AppRunRecord {
+  AppKind app = AppKind::Ar;
+  bool compression = false;  // AR/CAV only
+  ran::OperatorId op = ran::OperatorId::Verizon;
+  SimTime start;
+  Meters position{0.0};
+  TimeZone tz = TimeZone::Pacific;
+  net::ServerKind server = net::ServerKind::Cloud;
+  int handovers = 0;
+  double frac_high_speed_5g = 0.0;
+  // AR / CAV.
+  double mean_e2e_ms = 0.0;
+  double median_e2e_ms = 0.0;
+  double offloaded_fps = 0.0;
+  double map = 0.0;  // AR only
+  std::vector<double> e2e_ms;
+  // Video.
+  double qoe = 0.0;
+  double avg_bitrate_mbps = 0.0;
+  double rebuffer_fraction = 0.0;
+  // Gaming.
+  double gaming_bitrate_mbps = 0.0;
+  double gaming_latency_ms = 0.0;
+  double frame_drop_rate = 0.0;
+};
+
+struct AppCampaignConfig {
+  std::uint64_t seed = 42;
+  // Run every k-th cycle (fast-forwarding the rest) to trade sample count
+  // for runtime; geographic spread is preserved.
+  int cycle_stride = 1;
+  Millis gap{3'000.0};
+  trip::DriveConfig drive{};
+};
+
+struct AppCampaignResult {
+  std::array<std::vector<AppRunRecord>, 3> runs;  // by OperatorId
+
+  [[nodiscard]] const std::vector<AppRunRecord>& for_op(
+      ran::OperatorId op) const {
+    return runs[static_cast<std::size_t>(op)];
+  }
+};
+
+class AppCampaign {
+ public:
+  explicit AppCampaign(AppCampaignConfig cfg = AppCampaignConfig{});
+
+  // Run the driving campaign for all three operators.
+  AppCampaignResult run();
+
+  // Best-static baselines: several runs next to the best high-speed-5G
+  // site of each major city; the study quotes the best run.
+  std::vector<AppRunRecord> run_static_baseline(ran::OperatorId op);
+
+ private:
+  AppCampaignConfig cfg_;
+};
+
+}  // namespace wheels::apps

@@ -1,0 +1,36 @@
+// Cloud gaming (Appendix E): a Steam-Remote-Play-style session model.
+//
+// The server streams 4K/60FPS video whose send bitrate is governed by a
+// capacity-tracking adapter capped at 100 Mbps. The platform's observable
+// behaviour per the study: it defends the frame-drop rate (by adapting the
+// frame rate) even at the cost of very high network latency. Metrics per
+// run: send bitrate, network latency, frame-drop rate.
+#pragma once
+
+#include "apps/link_env.h"
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace wheels::apps {
+
+struct GamingConfig {
+  Millis run_duration{60'000.0};
+  double max_bitrate_mbps = 100.0;
+  double min_bitrate_mbps = 1.0;
+  double target_fps = 60.0;
+  double capacity_safety = 0.65; // adapter targets this fraction of capacity
+  double ema_alpha = 0.15;       // capacity estimator smoothing (per 100 ms)
+};
+
+struct GamingRunResult {
+  double median_bitrate_mbps = 0.0;
+  double mean_latency_ms = 0.0;
+  double p90_latency_ms = 0.0;
+  double frame_drop_rate = 0.0;  // fraction of frames dropped
+  double frac_high_speed_5g = 0.0;
+};
+
+[[nodiscard]] GamingRunResult run_gaming(const GamingConfig& cfg,
+                                         LinkEnv& env, Rng rng);
+
+}  // namespace wheels::apps

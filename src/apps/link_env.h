@@ -1,0 +1,22 @@
+// The link environment an application run executes against.
+//
+// Applications are written against this tiny interface instead of the trip
+// machinery so they can run over a live drive (AppCampaign), a static
+// baseline, or a synthetic trace in tests.
+#pragma once
+
+#include <functional>
+
+#include "core/units.h"
+#include "ran/ue.h"
+
+namespace wheels::apps {
+
+struct LinkEnv {
+  // Advance the underlying link by dt and return its state.
+  std::function<ran::LinkSample(Millis dt)> step;
+  // Wired one-way delay to the serving (cloud or edge) server.
+  Millis path_one_way{12.0};
+};
+
+}  // namespace wheels::apps

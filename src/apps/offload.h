@@ -1,0 +1,49 @@
+// The canonical edge-assisted AR / CAV offloading benchmark app.
+//
+// Reproduces the study's custom Android app (§C.1): camera frames (AR) or
+// LIDAR point clouds (CAV) are offloaded best-effort to a GPU server; the
+// end-to-end latency of a frame is
+//   compression + upload + wired path + DNN inference + result download
+//   + decompression,
+// and the app always offloads the *newest* frame once the pipeline frees
+// up (stale frames are dropped, bounding the offloaded FPS by 1/E2E).
+#pragma once
+
+#include <vector>
+
+#include "apps/link_env.h"
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace wheels::apps {
+
+// Table 4 of the paper.
+struct OffloadConfig {
+  double fps = 30.0;
+  double frame_raw_kb = 450.0;
+  double frame_compressed_kb = 50.0;
+  Millis compression_time{6.3};
+  Millis inference_time{24.9};
+  Millis decompression_time{1.0};
+  Millis run_duration{20'000.0};
+  bool use_compression = true;
+  double result_kb = 4.0;  // detection results shipped back
+};
+
+[[nodiscard]] OffloadConfig ar_config(bool use_compression);
+[[nodiscard]] OffloadConfig cav_config(bool use_compression);
+
+struct OffloadRunResult {
+  std::vector<double> e2e_ms;  // per offloaded frame
+  double offloaded_fps = 0.0;
+  double mean_e2e_ms = 0.0;
+  double median_e2e_ms = 0.0;
+  double frac_high_speed_5g = 0.0;
+  double frac_connected = 0.0;
+};
+
+// Execute one run of the app over the given link.
+[[nodiscard]] OffloadRunResult run_offload(const OffloadConfig& cfg,
+                                           LinkEnv& env, Rng rng);
+
+}  // namespace wheels::apps

@@ -1,0 +1,42 @@
+// 360-degree video streaming (Appendix D).
+//
+// A Puffer-style chunked streaming session with the BBA (buffer-based)
+// ABR: bitrate is a piecewise-linear function of the playback buffer
+// between a reservoir and a cushion. QoE follows Yin et al.:
+//   QoE_k = B_k - lambda * |B_k - B_{k-1}| - mu * T_k
+// with lambda = 1, mu = 100 (the study's choice), averaged over chunks.
+#pragma once
+
+#include <vector>
+
+#include "apps/link_env.h"
+#include "core/units.h"
+
+namespace wheels::apps {
+
+struct VideoConfig {
+  Millis chunk_duration{2'000.0};
+  std::vector<double> bitrates_mbps{5.0, 10.0, 50.0, 100.0};  // ascending
+  Millis run_duration{180'000.0};
+  double reservoir_s = 6.0;   // below: lowest bitrate
+  double cushion_s = 13.0;    // above: highest bitrate
+  double buffer_max_s = 15.0;
+  double qoe_lambda = 1.0;
+  double qoe_mu = 100.0;
+};
+
+struct VideoRunResult {
+  double avg_qoe = 0.0;
+  double avg_bitrate_mbps = 0.0;
+  double rebuffer_fraction = 0.0;  // stall time / run duration
+  int bitrate_switches = 0;
+  int chunks = 0;
+  double frac_high_speed_5g = 0.0;
+};
+
+[[nodiscard]] VideoRunResult run_video(const VideoConfig& cfg, LinkEnv& env);
+
+// BBA bitrate choice for a buffer level (exposed for unit testing).
+[[nodiscard]] double bba_bitrate(const VideoConfig& cfg, double buffer_s);
+
+}  // namespace wheels::apps

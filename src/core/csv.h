@@ -1,0 +1,29 @@
+// Minimal CSV reader/writer for exporting datasets and re-ingesting them in
+// the logsync pipeline tests. Handles quoting of commas/quotes/newlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wheels {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  // Quote a cell if needed per RFC 4180.
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+// Parse a full CSV document into rows of cells. Supports quoted cells with
+// embedded commas, quotes ("" escape) and newlines.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(
+    const std::string& text);
+
+}  // namespace wheels

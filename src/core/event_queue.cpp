@@ -1,0 +1,36 @@
+#include "core/event_queue.h"
+
+#include <utility>
+
+namespace wheels {
+
+void EventQueue::schedule(SimTime t, Handler fn) {
+  if (t < now_) t = now_;  // never schedule into the past
+  heap_.push(Entry{t, seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_after(Millis delay, Handler fn) {
+  schedule(now_ + delay, std::move(fn));
+}
+
+void EventQueue::run_until(SimTime horizon) {
+  while (!heap_.empty() && !(horizon < heap_.top().t)) {
+    // Copy out before pop: the handler may push into the queue.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.t;
+    e.fn(now_);
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void EventQueue::run_all() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.t;
+    e.fn(now_);
+  }
+}
+
+}  // namespace wheels

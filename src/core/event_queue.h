@@ -1,0 +1,54 @@
+// A minimal discrete-event scheduler.
+//
+// Most of the simulator advances in fixed 10 ms slots, but the application
+// pipelines (frame offloading, chunk downloads) are naturally event-driven:
+// "frame k finishes uploading at t", "chunk finishes at t". EventQueue keeps
+// those timelines exact instead of quantizing them to slot boundaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/sim_time.h"
+
+namespace wheels {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void(SimTime)>;
+
+  // Schedule `fn` at absolute time `t`. Events at equal times fire in
+  // insertion order (stable), which keeps runs deterministic.
+  void schedule(SimTime t, Handler fn);
+  void schedule_after(Millis delay, Handler fn);
+
+  // Run all events with time <= horizon. Handlers may schedule more events.
+  void run_until(SimTime horizon);
+  // Run until the queue drains.
+  void run_all();
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.t != b.t) return b.t < a.t;
+      return b.seq < a.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_{};
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace wheels

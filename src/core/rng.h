@@ -1,0 +1,50 @@
+// Deterministic random number generation.
+//
+// Every stochastic process in the simulator draws from an Rng seeded from
+// the campaign seed, so any figure or table can be regenerated bit-for-bit.
+// xoshiro256++ is used instead of std::mt19937 for speed and because its
+// stream-splitting (via SplitMix64 jumps) gives cheap independent
+// sub-streams per cell / per UE / per process.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wheels {
+
+// SplitMix64: used for seeding and for deriving child seeds.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Derive an independent child generator. `salt` distinguishes siblings
+  // derived from the same parent (e.g. one stream per cell id).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const;
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+  [[nodiscard]] std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+  // Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+  // Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
+  // Standard normal via Box-Muller (no cached spare: keeps fork() streams
+  // independent of call parity).
+  [[nodiscard]] double normal();
+  [[nodiscard]] double normal(double mean, double stddev);
+  // Log-normal parameterized by the mean/stddev of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma);
+  // Exponential with the given mean.
+  [[nodiscard]] double exponential(double mean);
+  // Bernoulli trial.
+  [[nodiscard]] bool chance(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wheels

@@ -1,0 +1,188 @@
+// Strong unit types used across the wheels library.
+//
+// The measurement domain mixes many scalar quantities (dBm, Mbps, ms,
+// meters, mph, ...). Interfaces taking bare `double`s invite unit mix-ups
+// (e.g. passing a distance in km where meters are expected), so each
+// physical quantity gets a distinct, zero-overhead wrapper. Arithmetic is
+// provided only where it is physically meaningful.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace wheels {
+
+// CRTP base providing comparison, addition/subtraction within the same
+// quantity, and scaling by dimensionless factors.
+template <typename Derived>
+struct ScalarUnit {
+  double value = 0.0;
+
+  constexpr ScalarUnit() = default;
+  constexpr explicit ScalarUnit(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(const Derived& a, const Derived& b) {
+    return a.value <=> b.value;
+  }
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.value == b.value;
+  }
+  friend constexpr Derived operator+(const Derived& a, const Derived& b) {
+    return Derived{a.value + b.value};
+  }
+  friend constexpr Derived operator-(const Derived& a, const Derived& b) {
+    return Derived{a.value - b.value};
+  }
+  friend constexpr Derived operator*(const Derived& a, double k) {
+    return Derived{a.value * k};
+  }
+  friend constexpr Derived operator*(double k, const Derived& a) {
+    return Derived{a.value * k};
+  }
+  friend constexpr Derived operator/(const Derived& a, double k) {
+    return Derived{a.value / k};
+  }
+  // Ratio of two quantities of the same kind is dimensionless.
+  friend constexpr double operator/(const Derived& a, const Derived& b) {
+    return a.value / b.value;
+  }
+  Derived& operator+=(const Derived& o) {
+    value += o.value;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(const Derived& o) {
+    value -= o.value;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Data rate.
+// ---------------------------------------------------------------------------
+struct Mbps : ScalarUnit<Mbps> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double bits_per_second() const { return value * 1e6; }
+  [[nodiscard]] constexpr double bytes_per_ms() const { return value * 1e3 / 8.0; }
+};
+
+// ---------------------------------------------------------------------------
+// Received power / signal strength (dBm) and gain/loss (dB).
+//
+// Dbm deliberately does NOT use the CRTP base: adding two absolute powers
+// expressed in dBm is meaningless, so only dBm +/- dB and dBm - dBm -> dB
+// are provided (below, after Db).
+// ---------------------------------------------------------------------------
+struct Dbm {
+  double value = 0.0;
+
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double v) : value(v) {}
+
+  friend constexpr auto operator<=>(const Dbm&, const Dbm&) = default;
+
+  [[nodiscard]] double milliwatts() const { return std::pow(10.0, value / 10.0); }
+  [[nodiscard]] static Dbm from_milliwatts(double mw) {
+    return Dbm{10.0 * std::log10(mw)};
+  }
+};
+
+struct Db : ScalarUnit<Db> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] double linear() const { return std::pow(10.0, value / 10.0); }
+  [[nodiscard]] static Db from_linear(double lin) {
+    return Db{10.0 * std::log10(lin)};
+  }
+};
+
+// Power arithmetic that is physically meaningful: dBm +/- dB.
+constexpr Dbm operator+(Dbm p, Db g) { return Dbm{p.value + g.value}; }
+constexpr Dbm operator-(Dbm p, Db l) { return Dbm{p.value - l.value}; }
+constexpr Db operator-(Dbm a, Dbm b) { return Db{a.value - b.value}; }
+
+// ---------------------------------------------------------------------------
+// Durations. Milliseconds is the library's canonical time resolution.
+// ---------------------------------------------------------------------------
+struct Millis : ScalarUnit<Millis> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double seconds() const { return value / 1e3; }
+  [[nodiscard]] constexpr double minutes() const { return value / 60e3; }
+  [[nodiscard]] static constexpr Millis from_seconds(double s) {
+    return Millis{s * 1e3};
+  }
+  [[nodiscard]] static constexpr Millis from_minutes(double m) {
+    return Millis{m * 60e3};
+  }
+  [[nodiscard]] static constexpr Millis from_hours(double h) {
+    return Millis{h * 3600e3};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Distances and speed.
+// ---------------------------------------------------------------------------
+struct Meters : ScalarUnit<Meters> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double kilometers() const { return value / 1e3; }
+  [[nodiscard]] constexpr double miles() const { return value / 1609.344; }
+  [[nodiscard]] static constexpr Meters from_kilometers(double km) {
+    return Meters{km * 1e3};
+  }
+  [[nodiscard]] static constexpr Meters from_miles(double mi) {
+    return Meters{mi * 1609.344};
+  }
+};
+
+struct Mph : ScalarUnit<Mph> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double meters_per_second() const {
+    return value * 0.44704;
+  }
+  [[nodiscard]] static constexpr Mph from_meters_per_second(double mps) {
+    return Mph{mps / 0.44704};
+  }
+};
+
+// distance = speed * time
+constexpr Meters operator*(Mph v, Millis t) {
+  return Meters{v.meters_per_second() * t.seconds()};
+}
+constexpr Meters operator*(Millis t, Mph v) { return v * t; }
+
+// data = rate * time (bytes)
+constexpr double bytes_transferred(Mbps rate, Millis t) {
+  return rate.bytes_per_ms() * t.value;
+}
+
+// Frequency in MHz (carrier frequencies, bandwidths).
+struct MHz : ScalarUnit<MHz> {
+  using ScalarUnit::ScalarUnit;
+  [[nodiscard]] constexpr double hz() const { return value * 1e6; }
+  [[nodiscard]] constexpr double ghz() const { return value / 1e3; }
+  [[nodiscard]] static constexpr MHz from_ghz(double g) { return MHz{g * 1e3}; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Mbps v) {
+  return os << v.value << " Mbps";
+}
+inline std::ostream& operator<<(std::ostream& os, Dbm v) {
+  return os << v.value << " dBm";
+}
+inline std::ostream& operator<<(std::ostream& os, Db v) {
+  return os << v.value << " dB";
+}
+inline std::ostream& operator<<(std::ostream& os, Millis v) {
+  return os << v.value << " ms";
+}
+inline std::ostream& operator<<(std::ostream& os, Meters v) {
+  return os << v.value << " m";
+}
+inline std::ostream& operator<<(std::ostream& os, Mph v) {
+  return os << v.value << " mph";
+}
+inline std::ostream& operator<<(std::ostream& os, MHz v) {
+  return os << v.value << " MHz";
+}
+
+}  // namespace wheels

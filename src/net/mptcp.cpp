@@ -1,0 +1,46 @@
+#include "net/mptcp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wheels::net {
+
+AggregationResult aggregate_instant(std::span<const double> per_operator_mbps,
+                                    double secondary_efficiency) {
+  AggregationResult r;
+  for (double v : per_operator_mbps) {
+    r.best_single_mbps = std::max(r.best_single_mbps, v);
+    r.ideal_sum_mbps += v;
+  }
+  r.realistic_mbps =
+      r.best_single_mbps +
+      secondary_efficiency * (r.ideal_sum_mbps - r.best_single_mbps);
+  r.gain_over_best = r.best_single_mbps > 0.0
+                         ? r.realistic_mbps / r.best_single_mbps
+                         : (r.realistic_mbps > 0.0 ? 1e9 : 1.0);
+  return r;
+}
+
+std::vector<AggregationResult> aggregate_series(
+    std::span<const std::vector<double>> per_operator_series,
+    double secondary_efficiency) {
+  if (per_operator_series.empty()) return {};
+  const std::size_t n = per_operator_series.front().size();
+  for (const auto& s : per_operator_series) {
+    if (s.size() != n) {
+      throw std::invalid_argument("aggregate_series: unequal series");
+    }
+  }
+  std::vector<AggregationResult> out;
+  out.reserve(n);
+  std::vector<double> instant(per_operator_series.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < per_operator_series.size(); ++k) {
+      instant[k] = per_operator_series[k][i];
+    }
+    out.push_back(aggregate_instant(instant, secondary_efficiency));
+  }
+  return out;
+}
+
+}  // namespace wheels::net

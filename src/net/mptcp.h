@@ -1,0 +1,36 @@
+// Multipath (multi-operator) aggregation what-if analysis.
+//
+// §8 recommendation (2): performance under driving could benefit from
+// multi-connectivity across operators (e.g. Multipath TCP). This module
+// evaluates that counterfactual on concurrent per-operator throughput
+// samples: an idealized MPTCP scheduler achieves (nearly) the sum of the
+// subflows, a conservative one achieves the max plus a fraction of the
+// rest.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/units.h"
+
+namespace wheels::net {
+
+struct AggregationResult {
+  double best_single_mbps = 0.0;
+  double ideal_sum_mbps = 0.0;      // perfect scheduler: sum of subflows
+  double realistic_mbps = 0.0;      // max + 80% of the remainder
+  double gain_over_best = 0.0;      // realistic / best_single
+};
+
+// Aggregate one instant's concurrent samples (one per operator).
+[[nodiscard]] AggregationResult aggregate_instant(
+    std::span<const double> per_operator_mbps,
+    double secondary_efficiency = 0.8);
+
+// Aggregate aligned series: element i of each series is the same instant.
+// Series must be equally sized.
+[[nodiscard]] std::vector<AggregationResult> aggregate_series(
+    std::span<const std::vector<double>> per_operator_series,
+    double secondary_efficiency = 0.8);
+
+}  // namespace wheels::net

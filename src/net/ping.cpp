@@ -1,0 +1,28 @@
+#include "net/ping.h"
+
+namespace wheels::net {
+
+std::optional<Millis> ping_rtt(const ran::LinkSample& link,
+                               Millis path_one_way, Rng& rng,
+                               const PingConfig& cfg) {
+  if (!link.connected) {
+    // Out of coverage: occasionally the echo squeaks through on the edge
+    // of a cell with a huge delay; usually it is simply lost.
+    if (rng.chance(0.15)) {
+      return Millis{rng.uniform(800.0, 3'000.0)};
+    }
+    return std::nullopt;
+  }
+  // air_latency already contains queueing/HARQ jitter and, while a
+  // handover is in progress, the remaining interruption (buffering).
+  Millis rtt = link.air_latency * 2.0 + path_one_way * 2.0 +
+               cfg.server_processing;
+  // Rare second-scale spikes from RLC retransmission storms at cell edge.
+  if (link.bler_dl > 0.3 && rng.chance(0.05)) {
+    rtt += Millis{rng.uniform(200.0, 2'000.0)};
+  }
+  if (rtt.value > cfg.timeout.value) return std::nullopt;
+  return rtt;
+}
+
+}  // namespace wheels::net

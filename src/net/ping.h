@@ -1,0 +1,31 @@
+// ICMP ping RTT model.
+//
+// The study's RTT tests send one 38-byte ICMP echo every 200 ms for 20 s.
+// An echo's RTT is twice the one-way RAN latency plus twice the wired path
+// delay; echoes that hit a handover interruption are buffered and released
+// when it completes (producing the multi-hundred-ms spikes of Fig. 3b),
+// and echoes sent while the UE is out of coverage are lost outright.
+#pragma once
+
+#include <optional>
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "ran/ue.h"
+
+namespace wheels::net {
+
+struct PingConfig {
+  Millis interval{200.0};
+  Millis timeout{4'000.0};
+  Millis server_processing{0.5};
+};
+
+// Outcome of one echo given the link state at send time.
+// Returns nullopt when the echo is lost (disconnected, or stall beyond the
+// timeout).
+[[nodiscard]] std::optional<Millis> ping_rtt(const ran::LinkSample& link,
+                                             Millis path_one_way, Rng& rng,
+                                             const PingConfig& cfg = {});
+
+}  // namespace wheels::net

@@ -1,0 +1,51 @@
+#include "net/server.h"
+
+#include <cmath>
+#include <limits>
+
+namespace wheels::net {
+
+ServerSelector::ServerSelector(std::vector<EdgeSite> edge_sites,
+                               Meters edge_radius)
+    : edge_sites_(std::move(edge_sites)), edge_radius_(edge_radius) {}
+
+ServerEndpoint ServerSelector::cloud_for(TimeZone tz) {
+  // One-way wired delays from the cellular gateway to the EC2 region used
+  // for that leg of the trip. Mountain-zone tests still used the
+  // California servers; Central-zone tests the Ohio ones.
+  switch (tz) {
+    case TimeZone::Pacific:
+      return {ServerKind::Cloud, "aws-us-west (CA)", Millis{10.0}};
+    case TimeZone::Mountain:
+      return {ServerKind::Cloud, "aws-us-west (CA)", Millis{18.0}};
+    case TimeZone::Central:
+      return {ServerKind::Cloud, "aws-us-east (OH)", Millis{14.0}};
+    case TimeZone::Eastern:
+      return {ServerKind::Cloud, "aws-us-east (OH)", Millis{10.0}};
+  }
+  return {ServerKind::Cloud, "aws", Millis{14.0}};
+}
+
+ServerEndpoint ServerSelector::select(ran::OperatorId op, Meters pos,
+                                      TimeZone tz) const {
+  if (op == ran::OperatorId::Verizon) {
+    const EdgeSite* best = nullptr;
+    double best_d = std::numeric_limits<double>::max();
+    for (const auto& site : edge_sites_) {
+      const double d = std::abs(site.route_pos.value - pos.value);
+      if (d < best_d) {
+        best_d = d;
+        best = &site;
+      }
+    }
+    if (best && best_d <= edge_radius_.value) {
+      // Wavelength: inside the operator network, a couple ms away, growing
+      // slightly with metro distance.
+      return {ServerKind::Edge, "wavelength-" + best->city,
+              Millis{1.5 + best_d / 1000.0 * 0.02}};
+    }
+  }
+  return cloud_for(tz);
+}
+
+}  // namespace wheels::net

@@ -1,0 +1,61 @@
+// Server placement and wired-path latency model.
+//
+// The study used AWS EC2 cloud instances (two in California serving the
+// Pacific/Mountain legs, two in Ohio serving the Central/Eastern legs) and
+// five Verizon Wavelength edge servers (Los Angeles, Las Vegas, Denver,
+// Chicago, Boston). Edge servers sit inside the operator network, so their
+// wired path is a couple of ms; cloud paths cross the internet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/sim_time.h"
+#include "core/units.h"
+#include "ran/operator_profile.h"
+
+namespace wheels::net {
+
+enum class ServerKind : std::uint8_t { Cloud, Edge };
+
+[[nodiscard]] constexpr std::string_view to_string(ServerKind k) {
+  return k == ServerKind::Cloud ? "cloud" : "edge";
+}
+
+struct ServerEndpoint {
+  ServerKind kind = ServerKind::Cloud;
+  std::string name;
+  Millis one_way_delay{12.0};  // wired path UE-gateway -> server (one way)
+};
+
+// An edge site pinned to a corridor position (an edge city along the route).
+struct EdgeSite {
+  std::string city;
+  Meters route_pos{0.0};
+};
+
+class ServerSelector {
+ public:
+  // `edge_sites` are the Wavelength cities mapped onto the corridor.
+  // Edge service only exists for Verizon (the study's deployment).
+  explicit ServerSelector(std::vector<EdgeSite> edge_sites,
+                          Meters edge_radius = Meters::from_kilometers(60.0));
+
+  // Pick the server a test at corridor position `pos` in timezone `tz`
+  // would use: the nearest edge site when in range (Verizon only),
+  // otherwise the cloud region for the timezone.
+  [[nodiscard]] ServerEndpoint select(ran::OperatorId op, Meters pos,
+                                      TimeZone tz) const;
+
+  // The cloud endpoint regardless of edge availability (for edge-vs-cloud
+  // comparisons).
+  [[nodiscard]] static ServerEndpoint cloud_for(TimeZone tz);
+
+ private:
+  std::vector<EdgeSite> edge_sites_;
+  Meters edge_radius_;
+};
+
+}  // namespace wheels::net

@@ -1,0 +1,129 @@
+#include "net/tcp_cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::net {
+
+CubicFlow::CubicFlow(Rng rng, CubicParams params)
+    : rng_(rng),
+      p_(params),
+      cwnd_(params.initial_cwnd_mss * params.mss_bytes),
+      ssthresh_(1e12),  // effectively unbounded until the first loss
+      rto_(params.rto_min) {}
+
+void CubicFlow::restart() {
+  cwnd_ = p_.initial_cwnd_mss * p_.mss_bytes;
+  ssthresh_ = 1e12;
+  slow_start_ = true;
+  w_max_mss_ = 0.0;
+  epoch_s_ = -1.0;
+  queue_bytes_ = 0.0;
+  ema_capacity_bps_ = 0.0;
+  stall_ = Millis{0.0};
+  rto_ = p_.rto_min;
+  since_loss_ = Millis{0.0};
+}
+
+Millis CubicFlow::queueing_delay() const {
+  if (last_capacity_bps_ <= 0.0) return Millis{0.0};
+  return Millis{queue_bytes_ * 8.0 / last_capacity_bps_ * 1e3};
+}
+
+void CubicFlow::on_loss() {
+  ++loss_events_;
+  w_max_mss_ = cwnd_ / p_.mss_bytes;
+  cwnd_ = std::max(p_.mss_bytes, cwnd_ * p_.beta);
+  ssthresh_ = cwnd_;
+  slow_start_ = false;
+  epoch_s_ = 0.0;
+  since_loss_ = Millis{0.0};
+}
+
+void CubicFlow::on_timeout() {
+  ++timeouts_;
+  w_max_mss_ = std::max(w_max_mss_, cwnd_ / p_.mss_bytes);
+  ssthresh_ = std::max(p_.mss_bytes * 2.0, cwnd_ / 2.0);
+  cwnd_ = p_.mss_bytes;
+  slow_start_ = true;
+  epoch_s_ = -1.0;
+  queue_bytes_ = 0.0;  // stale packets flushed
+  rto_ = Millis{std::min(rto_.value * 2.0, 4'000.0)};  // Karn backoff
+  stall_ = Millis{0.0};
+}
+
+double CubicFlow::step(Millis dt, Mbps link_rate, Millis base_rtt) {
+  const double capacity_bps = link_rate.bits_per_second();
+  last_capacity_bps_ = capacity_bps;
+
+  // Outage / handover interruption: nothing delivered; an RTO fires if the
+  // stall outlives the (backed-off) timer.
+  if (capacity_bps < 1e3) {
+    stall_ += dt;
+    if (stall_.value > rto_.value) on_timeout();
+    return 0.0;
+  }
+  stall_ = Millis{0.0};
+  rto_ = Millis{std::max(p_.rto_min.value, 2.0 * base_rtt.value)};
+
+  // Smoothed capacity (tau ~ 2 s): the RLC buffer at the bottleneck is
+  // sized for the sustained rate, not the instantaneous fading dips.
+  const double alpha = std::min(1.0, dt.value / 2'000.0);
+  if (ema_capacity_bps_ <= 0.0) ema_capacity_bps_ = capacity_bps;
+  ema_capacity_bps_ += alpha * (capacity_bps - ema_capacity_bps_);
+
+  const double rtt_s =
+      std::max(1e-3, (base_rtt + queueing_delay()).seconds());
+  const double dt_s = dt.seconds();
+
+  // Arrival vs service at the bottleneck.
+  const double send_bps = cwnd_ * 8.0 / rtt_s;
+  const double delivered_bps = std::min(send_bps, capacity_bps);
+  const double delivered_bytes = delivered_bps / 8.0 * dt_s;
+
+  // Queue evolution and loss detection. Buffer depth follows the
+  // sustained rate (bufferbloat), so transient fades inflate delay rather
+  // than instantly overflowing the queue.
+  const double buffer_bytes =
+      std::max(ema_capacity_bps_ / 8.0 * p_.buffer_depth.seconds(),
+               64.0 * p_.mss_bytes);
+  queue_bytes_ += (send_bps - delivered_bps) / 8.0 * dt_s;
+  queue_bytes_ = std::max(0.0, queue_bytes_);
+
+  since_loss_ += dt;
+  if (queue_bytes_ > buffer_bytes &&
+      since_loss_.value > base_rtt.value) {
+    on_loss();
+    queue_bytes_ = buffer_bytes * 0.5;  // drain after backoff
+    return delivered_bytes;
+  }
+
+  // Window growth.
+  if (slow_start_) {
+    cwnd_ += delivered_bytes;  // doubles per RTT
+    if (cwnd_ >= ssthresh_) slow_start_ = false;
+  } else {
+    if (epoch_s_ < 0.0) {
+      epoch_s_ = 0.0;
+      if (w_max_mss_ <= 0.0) w_max_mss_ = cwnd_ / p_.mss_bytes;
+    }
+    epoch_s_ += dt_s;
+    const double k =
+        std::cbrt(w_max_mss_ * (1.0 - p_.beta) / p_.cubic_c);
+    const double target_mss =
+        p_.cubic_c * std::pow(epoch_s_ - k, 3.0) + w_max_mss_;
+    const double target = target_mss * p_.mss_bytes;
+    if (target > cwnd_) {
+      // Approach the cubic target within one RTT.
+      cwnd_ += (target - cwnd_) * std::min(1.0, dt_s / rtt_s);
+    } else {
+      // TCP-friendly floor: at least Reno-like 1 MSS per RTT.
+      cwnd_ += p_.mss_bytes * (dt_s / rtt_s);
+    }
+  }
+  // No explicit window cap: overshoot beyond buffer + BDP produces queue
+  // overflow and a loss event above, which is exactly CUBIC's regulator.
+  return delivered_bytes;
+}
+
+}  // namespace wheels::net

@@ -1,0 +1,68 @@
+// A slot-based TCP CUBIC flow model.
+//
+// The study measures bulk transfers with nuttcp over a single CUBIC
+// connection; the transport dynamics (slow start, cubic window growth,
+// multiplicative backoff on buffer overflow, RTO collapse across handover
+// stalls) shape the 500 ms throughput samples far more than the raw PHY
+// rate does, so they are modeled explicitly. The flow advances in discrete
+// slots: each step receives the link's current goodput capacity and base
+// RTT and returns the bytes it actually delivered.
+#pragma once
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace wheels::net {
+
+struct CubicParams {
+  double mss_bytes = 1448.0;
+  double cubic_c = 0.4;   // CUBIC C constant (window in MSS, time in s)
+  double beta = 0.7;      // multiplicative decrease factor
+  Millis rto_min{1'000.0};  // minimum RTO (RFC 6298 uses 1 s)
+  Millis buffer_depth{400.0};  // bottleneck buffer in time units
+                               // (cellular bufferbloat: 100s of ms)
+  double initial_cwnd_mss = 10.0;
+};
+
+class CubicFlow {
+ public:
+  explicit CubicFlow(Rng rng, CubicParams params = CubicParams{});
+
+  // Advance the flow by `dt`. `link_rate` is the instantaneous bottleneck
+  // goodput (0 during handover interruptions/outages); `base_rtt` the
+  // path RTT excluding this flow's own queueing. Returns bytes delivered.
+  double step(Millis dt, Mbps link_rate, Millis base_rtt);
+
+  // Self-inflicted queueing delay at the bottleneck (bufferbloat).
+  [[nodiscard]] Millis queueing_delay() const;
+
+  [[nodiscard]] double cwnd_bytes() const { return cwnd_; }
+  [[nodiscard]] bool in_slow_start() const { return slow_start_; }
+  [[nodiscard]] int loss_events() const { return loss_events_; }
+  [[nodiscard]] int timeouts() const { return timeouts_; }
+
+  // Reset to initial window (a new connection for the next test).
+  void restart();
+
+ private:
+  void on_loss();
+  void on_timeout();
+
+  Rng rng_;
+  CubicParams p_;
+  double cwnd_;           // bytes
+  double ssthresh_;       // bytes
+  bool slow_start_ = true;
+  double w_max_mss_ = 0.0;
+  double epoch_s_ = -1.0;  // time since loss epoch start, seconds
+  double queue_bytes_ = 0.0;
+  double last_capacity_bps_ = 0.0;
+  double ema_capacity_bps_ = 0.0;  // smoothed capacity (buffer sizing)
+  Millis stall_{0.0};
+  Millis rto_{250.0};
+  Millis since_loss_{0.0};
+  int loss_events_ = 0;
+  int timeouts_ = 0;
+};
+
+}  // namespace wheels::net

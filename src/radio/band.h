@@ -1,0 +1,35 @@
+// Frequency bands and per-technology radio profiles.
+#pragma once
+
+#include "core/units.h"
+#include "radio/technology.h"
+
+namespace wheels::radio {
+
+// Static radio parameters of one technology class: carrier frequency,
+// component-carrier bandwidths, MIMO layers, and link-budget constants.
+// Values are representative of 2022-era US deployments (Samsung S21-class
+// UE: 8CC DL / 2CC UL over mmWave, per the paper's testbed description).
+struct BandProfile {
+  Tech tech;
+  MHz carrier;           // representative carrier frequency
+  MHz cc_bandwidth_dl;   // one component carrier, downlink
+  MHz cc_bandwidth_ul;   // one component carrier, uplink
+  int max_cc_dl = 1;     // max aggregated component carriers (DL)
+  int max_cc_ul = 1;     // max aggregated component carriers (UL)
+  int mimo_layers_dl = 2;
+  int mimo_layers_ul = 1;
+  Dbm tx_power_dl{43.0};     // BS EIRP contribution per CC (before antenna gain)
+  Dbm tx_power_ul{23.0};     // UE max transmit power
+  Db antenna_gain_dl{15.0};  // BS antenna gain (beamforming gain for mmWave)
+  Meters typical_range{2000.0};  // deployment inter-site distance scale
+};
+
+// Catalog lookup: the canonical profile for a technology.
+[[nodiscard]] const BandProfile& band_profile(Tech t);
+
+// Thermal noise floor for a given bandwidth at ~9 dB UE noise figure:
+// -174 dBm/Hz + 10log10(BW) + NF.
+[[nodiscard]] Dbm noise_floor(MHz bandwidth, double noise_figure_db = 9.0);
+
+}  // namespace wheels::radio

@@ -1,0 +1,61 @@
+#include "radio/fading.h"
+
+#include <cmath>
+
+namespace wheels::radio {
+
+ShadowingProcess::ShadowingProcess(Rng rng, double sigma_db,
+                                   Meters decorrelation)
+    : rng_(rng),
+      sigma_db_(sigma_db),
+      decorrelation_m_(decorrelation.value),
+      value_db_(rng_.normal(0.0, sigma_db)) {}
+
+ShadowingProcess ShadowingProcess::for_tech(Rng rng, Tech t, Environment env) {
+  // mmWave decorrelates over ~10 m (street furniture), sub-6 over ~50-100 m.
+  const Meters dcorr = t == Tech::NR_MMWAVE ? Meters{12.0}
+                       : is_high_speed(t)   ? Meters{40.0}
+                                            : Meters{80.0};
+  return ShadowingProcess(rng, shadowing_sigma_db(t, env), dcorr);
+}
+
+Db ShadowingProcess::advance(Meters travelled) {
+  // Gudmundson: rho = exp(-d / d_corr); X' = rho X + sqrt(1-rho^2) N(0,s).
+  const double rho = std::exp(-std::max(travelled.value, 0.0) /
+                              decorrelation_m_);
+  value_db_ = rho * value_db_ +
+              std::sqrt(1.0 - rho * rho) * rng_.normal(0.0, sigma_db_);
+  return Db{value_db_};
+}
+
+FastFading::FastFading(Rng rng, Tech tech)
+    : rng_(rng), sigma_db_(tech == Tech::NR_MMWAVE ? 4.0 : 2.5) {}
+
+Db FastFading::sample_db() {
+  // Skewed: a Gaussian body with an exponential deep-fade tail.
+  const double g = rng_.normal(0.0, sigma_db_);
+  if (rng_.chance(0.05)) {
+    return Db{g - rng_.exponential(2.0 * sigma_db_)};  // occasional deep fade
+  }
+  return Db{g};
+}
+
+BlockageProcess::BlockageProcess(Rng rng, Tech tech)
+    : rng_(rng),
+      applicable_(tech == Tech::NR_MMWAVE),
+      // Driving through a street canyon: blockage episodes of ~300 ms
+      // (other vehicles, poles, own car body), clear spells of ~1.5 s.
+      mean_clear_ms_(1500.0),
+      mean_blocked_ms_(300.0),
+      loss_db_(25.0) {}
+
+Db BlockageProcess::advance(Millis dt) {
+  if (!applicable_) return Db{0.0};
+  // Memoryless state flips evaluated per step.
+  const double rate =
+      blocked_ ? 1.0 / mean_blocked_ms_ : 1.0 / mean_clear_ms_;
+  if (rng_.chance(1.0 - std::exp(-rate * dt.value))) blocked_ = !blocked_;
+  return Db{blocked_ ? loss_db_ : 0.0};
+}
+
+}  // namespace wheels::radio

@@ -1,0 +1,77 @@
+// Time/space-correlated channel variation processes.
+//
+//  - ShadowingProcess: first-order Gauss-Markov log-normal shadowing with a
+//    distance decorrelation constant (Gudmundson model). Advanced by the
+//    distance the vehicle covers, so faster driving decorrelates faster in
+//    time -- one of the mechanisms behind the speed effects in Figs. 7/8.
+//  - FastFading: per-slot small-scale fading margin (Rician-ish for
+//    sub-6, harsher for mmWave).
+//  - BlockageProcess: two-state (clear/blocked) Markov chain for mmWave
+//    links; a blocked mmWave link loses tens of dB, producing the extreme
+//    low-throughput tail the paper observes even under full coverage.
+#pragma once
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "radio/pathloss.h"
+#include "radio/technology.h"
+
+namespace wheels::radio {
+
+class ShadowingProcess {
+ public:
+  // `decorrelation` is the Gudmundson decorrelation distance; `sigma_db`
+  // the stationary standard deviation.
+  ShadowingProcess(Rng rng, double sigma_db, Meters decorrelation);
+
+  // Factory using the catalog sigma for a tech/environment.
+  [[nodiscard]] static ShadowingProcess for_tech(Rng rng, Tech t,
+                                                 Environment env);
+
+  // Advance the process by `travelled` meters and return the new value.
+  Db advance(Meters travelled);
+
+  [[nodiscard]] Db current() const { return Db{value_db_}; }
+  [[nodiscard]] double sigma_db() const { return sigma_db_; }
+
+ private:
+  Rng rng_;
+  double sigma_db_;
+  double decorrelation_m_;
+  double value_db_;
+};
+
+class FastFading {
+ public:
+  FastFading(Rng rng, Tech tech);
+
+  // A fresh small-scale fading deviation (dB) for one scheduling slot.
+  // Zero-mean-ish but skewed: deep fades are more likely than strong
+  // up-fades, matching Rayleigh/Rician envelope statistics.
+  [[nodiscard]] Db sample_db();
+
+ private:
+  Rng rng_;
+  double sigma_db_;
+};
+
+class BlockageProcess {
+ public:
+  // Only meaningful for mmWave; other techs stay permanently "clear".
+  BlockageProcess(Rng rng, Tech tech);
+
+  // Advance by dt; returns the extra loss to apply (0 dB when clear).
+  Db advance(Millis dt);
+
+  [[nodiscard]] bool blocked() const { return blocked_; }
+
+ private:
+  Rng rng_;
+  bool applicable_;
+  bool blocked_ = false;
+  double mean_clear_ms_;
+  double mean_blocked_ms_;
+  double loss_db_;
+};
+
+}  // namespace wheels::radio

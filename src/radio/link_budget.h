@@ -1,0 +1,35 @@
+// Link-budget computation: RSRP and SINR from geometry + channel state.
+#pragma once
+
+#include "core/units.h"
+#include "radio/pathloss.h"
+#include "radio/technology.h"
+
+namespace wheels::radio {
+
+// Instantaneous channel state fed by the fading layer.
+struct ChannelState {
+  Db shadowing{0.0};
+  Db fast_fading{0.0};
+  Db blockage_loss{0.0};
+};
+
+// Reference Signal Received Power: per-resource-element received power.
+// RSRP = per-RE transmit power + antenna gain - pathloss - shadowing -
+// blockage. Fast fading is averaged out by the UE's RSRP filter, so it is
+// deliberately excluded here (it does enter SINR).
+[[nodiscard]] Dbm rsrp(Tech tech, Environment env, Meters distance,
+                       const ChannelState& ch);
+
+// Downlink SINR for data: wideband signal over noise + interference.
+// `interference_margin` folds in neighbour-cell load (from the RAN layer).
+[[nodiscard]] Db sinr_downlink(Tech tech, Environment env, Meters distance,
+                               const ChannelState& ch,
+                               Db interference_margin);
+
+// Uplink SINR: limited by the UE's transmit power; interference at the BS
+// is milder (power control) so a smaller default margin applies.
+[[nodiscard]] Db sinr_uplink(Tech tech, Environment env, Meters distance,
+                             const ChannelState& ch, Db interference_margin);
+
+}  // namespace wheels::radio

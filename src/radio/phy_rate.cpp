@@ -1,0 +1,75 @@
+#include "radio/phy_rate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radio/mcs.h"
+
+namespace wheels::radio {
+namespace {
+
+// Control/reference-signal overhead: fraction of symbols carrying data.
+constexpr double kOverhead = 0.75;
+
+// Scheduler backoff applied to the measured SINR before picking MCS.
+constexpr double kAdaptationBackoffDb = 1.0;
+
+// Each further aggregated carrier is a bit weaker than the primary
+// (different band, less favourable geometry).
+constexpr double kSecondaryCcPenaltyDb = 1.5;
+
+}  // namespace
+
+Mbps ue_peak_rate(Tech t, Direction d) {
+  const bool dl = d == Direction::Downlink;
+  switch (t) {
+    case Tech::LTE: return dl ? Mbps{75.0} : Mbps{25.0};
+    case Tech::LTE_A: return dl ? Mbps{400.0} : Mbps{60.0};
+    case Tech::NR_LOW: return dl ? Mbps{300.0} : Mbps{75.0};
+    case Tech::NR_MID: return dl ? Mbps{780.0} : Mbps{120.0};
+    case Tech::NR_MMWAVE: return dl ? Mbps{3500.0} : Mbps{350.0};
+  }
+  return Mbps{0.0};
+}
+
+PhyRateResult compute_phy_rate(Tech tech, Direction dir, Db sinr, int num_cc,
+                               double prb_fraction) {
+  const BandProfile& p = band_profile(tech);
+  const bool dl = dir == Direction::Downlink;
+  const int max_cc = dl ? p.max_cc_dl : p.max_cc_ul;
+  num_cc = std::clamp(num_cc, 1, max_cc);
+  prb_fraction = std::clamp(prb_fraction, 0.0, 1.0);
+
+  const MHz bw = dl ? p.cc_bandwidth_dl : p.cc_bandwidth_ul;
+  const int layers = dl ? p.mimo_layers_dl : p.mimo_layers_ul;
+
+  PhyRateResult out;
+  out.num_cc = num_cc;
+
+  double bits_per_second = 0.0;
+  for (int cc = 0; cc < num_cc; ++cc) {
+    const Db cc_sinr{sinr.value - cc * kSecondaryCcPenaltyDb};
+    const int cqi = cqi_from_sinr(
+        Db{cc_sinr.value - kAdaptationBackoffDb});
+    if (cqi == 0) {
+      if (cc == 0) {
+        out.mcs = 0;
+        out.bler = bler(0, cc_sinr);
+      }
+      continue;  // carrier out of range
+    }
+    const int mcs = mcs_from_cqi(cqi);
+    const double b = bler(mcs, cc_sinr);
+    const double se = mcs_spectral_efficiency(mcs);
+    bits_per_second += bw.hz() * se * layers * (1.0 - b) * kOverhead;
+    if (cc == 0) {
+      out.mcs = mcs;
+      out.bler = b;
+    }
+  }
+  const Mbps uncapped{bits_per_second / 1e6 * prb_fraction};
+  out.rate = std::min(uncapped, ue_peak_rate(tech, dir));
+  return out;
+}
+
+}  // namespace wheels::radio

@@ -1,0 +1,37 @@
+// PHY-layer achievable rate from link adaptation + carrier aggregation.
+#pragma once
+
+#include "core/units.h"
+#include "radio/band.h"
+#include "radio/technology.h"
+
+namespace wheels::radio {
+
+enum class Direction : std::uint8_t { Downlink, Uplink };
+
+[[nodiscard]] constexpr std::string_view to_string(Direction d) {
+  return d == Direction::Downlink ? "DL" : "UL";
+}
+
+// UE-category peak rates (Mbps), Samsung S21 / Snapdragon 888 class.
+// These cap the instantaneous PHY rate regardless of the link budget.
+[[nodiscard]] Mbps ue_peak_rate(Tech t, Direction d);
+
+// Outcome of link adaptation on one scheduling interval.
+struct PhyRateResult {
+  Mbps rate{0.0};     // goodput after BLER and overhead
+  int mcs = 0;        // selected MCS of the primary carrier
+  double bler = 0.0;  // residual BLER at the selected MCS
+  int num_cc = 1;     // aggregated component carriers
+};
+
+// Compute the achievable PHY goodput.
+//   sinr          -- primary-carrier SINR for this interval
+//   num_cc        -- aggregated carriers (1..profile max); secondary
+//                    carriers are assumed slightly weaker (1.5 dB/CC step)
+//   prb_fraction  -- fraction of PRBs the scheduler grants this UE
+//                    (cell load model), in (0, 1]
+[[nodiscard]] PhyRateResult compute_phy_rate(Tech tech, Direction dir, Db sinr,
+                                             int num_cc, double prb_fraction);
+
+}  // namespace wheels::radio

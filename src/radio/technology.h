@@ -1,0 +1,76 @@
+// Cellular technology taxonomy used throughout the study.
+//
+// The paper buckets service into five technologies: LTE, LTE-A, 5G low-band,
+// 5G mid-band, and 5G mmWave, and further groups mid-band + mmWave as
+// "high-speed 5G" / high-throughput (HT) vs everything else (LT) for the
+// operator-diversity analysis (Fig. 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace wheels::radio {
+
+enum class Tech : std::uint8_t {
+  LTE,
+  LTE_A,
+  NR_LOW,   // 5G low band (600-900 MHz)
+  NR_MID,   // 5G mid band (2.5-3.7 GHz)
+  NR_MMWAVE // 5G mmWave (24-39 GHz)
+};
+
+inline constexpr std::array<Tech, 5> kAllTechs = {
+    Tech::LTE, Tech::LTE_A, Tech::NR_LOW, Tech::NR_MID, Tech::NR_MMWAVE};
+
+[[nodiscard]] constexpr std::string_view to_string(Tech t) {
+  switch (t) {
+    case Tech::LTE: return "LTE";
+    case Tech::LTE_A: return "LTE-A";
+    case Tech::NR_LOW: return "5G-low";
+    case Tech::NR_MID: return "5G-mid";
+    case Tech::NR_MMWAVE: return "5G-mmWave";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_5g(Tech t) {
+  return t == Tech::NR_LOW || t == Tech::NR_MID || t == Tech::NR_MMWAVE;
+}
+
+// "High-speed 5G" in the paper's terminology: mid-band or mmWave.
+[[nodiscard]] constexpr bool is_high_speed(Tech t) {
+  return t == Tech::NR_MID || t == Tech::NR_MMWAVE;
+}
+
+// Handover classification (Fig. 12): horizontal = same generation.
+enum class HandoverKind : std::uint8_t {
+  FourToFour,  // 4G -> 4G
+  FourToFive,  // 4G -> 5G
+  FiveToFour,  // 5G -> 4G
+  FiveToFive,  // 5G -> 5G
+};
+
+[[nodiscard]] constexpr HandoverKind classify_handover(Tech from, Tech to) {
+  const bool f5 = is_5g(from), t5 = is_5g(to);
+  if (!f5 && !t5) return HandoverKind::FourToFour;
+  if (!f5 && t5) return HandoverKind::FourToFive;
+  if (f5 && !t5) return HandoverKind::FiveToFour;
+  return HandoverKind::FiveToFive;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(HandoverKind k) {
+  switch (k) {
+    case HandoverKind::FourToFour: return "4G->4G";
+    case HandoverKind::FourToFive: return "4G->5G";
+    case HandoverKind::FiveToFour: return "5G->4G";
+    case HandoverKind::FiveToFive: return "5G->5G";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_horizontal(HandoverKind k) {
+  return k == HandoverKind::FourToFour || k == HandoverKind::FiveToFive;
+}
+
+}  // namespace wheels::radio

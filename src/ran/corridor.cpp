@@ -1,0 +1,36 @@
+#include "ran/corridor.h"
+
+#include <algorithm>
+
+namespace wheels::ran {
+
+Corridor::Corridor(std::vector<CorridorSegment> segments)
+    : segments_(std::move(segments)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("Corridor: no segments");
+  }
+  if (segments_.front().begin.value != 0.0) {
+    throw std::invalid_argument("Corridor: must start at 0");
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (!(segments_[i].end > segments_[i].begin)) {
+      throw std::invalid_argument("Corridor: empty or inverted segment");
+    }
+    if (i && segments_[i].begin.value != segments_[i - 1].end.value) {
+      throw std::invalid_argument("Corridor: segments not contiguous");
+    }
+  }
+  length_ = segments_.back().end;
+}
+
+const CorridorSegment& Corridor::at(Meters pos) const {
+  const double p = std::clamp(pos.value, 0.0, length_.value);
+  // Binary search over segment starts.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), p,
+      [](double v, const CorridorSegment& s) { return v < s.end.value; });
+  if (it == segments_.end()) return segments_.back();
+  return *it;
+}
+
+}  // namespace wheels::ran

@@ -1,0 +1,44 @@
+// A 1-D abstraction of the drive route used by the RAN layer.
+//
+// The trip layer flattens the geographic route into a corridor: a sequence
+// of segments along the driven distance, each carrying the radio
+// environment (urban / suburban / rural) and the timezone. Deployment and
+// UE simulation work in corridor coordinates (meters from the start), which
+// keeps the RAN layer independent of geodesy.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/sim_time.h"
+#include "core/units.h"
+#include "radio/pathloss.h"
+
+namespace wheels::ran {
+
+struct CorridorSegment {
+  Meters begin{0.0};
+  Meters end{0.0};
+  radio::Environment env = radio::Environment::Rural;
+  TimeZone tz = TimeZone::Pacific;
+};
+
+class Corridor {
+ public:
+  // Segments must be contiguous, ordered, and start at 0.
+  explicit Corridor(std::vector<CorridorSegment> segments);
+
+  [[nodiscard]] Meters length() const { return length_; }
+  [[nodiscard]] const std::vector<CorridorSegment>& segments() const {
+    return segments_;
+  }
+
+  // Segment containing `pos` (clamped to the corridor).
+  [[nodiscard]] const CorridorSegment& at(Meters pos) const;
+
+ private:
+  std::vector<CorridorSegment> segments_;
+  Meters length_{0.0};
+};
+
+}  // namespace wheels::ran

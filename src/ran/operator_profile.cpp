@@ -1,0 +1,230 @@
+#include "ran/operator_profile.h"
+
+namespace wheels::ran {
+namespace {
+
+using radio::Environment;
+using radio::Tech;
+
+constexpr std::size_t idx(Tech t) { return static_cast<std::size_t>(t); }
+
+// Timezone scale arrays are indexed Pacific, Mountain, Central, Eastern.
+
+OperatorProfile make_verizon() {
+  OperatorProfile p{};
+  p.id = OperatorId::Verizon;
+
+  // Ubiquitous 4G; LTE-A the workhorse.
+  p.deploy[idx(Tech::LTE)] = {.avail_urban = 1.0,
+                              .avail_suburban = 1.0,
+                              .avail_rural = 0.98,
+                              .timezone_scale = {1, 1, 1, 1},
+                              .site_spacing = Meters{2400.0}};
+  p.deploy[idx(Tech::LTE_A)] = {.avail_urban = 0.95,
+                                .avail_suburban = 0.85,
+                                .avail_rural = 0.70,
+                                .timezone_scale = {1, 0.95, 1, 1},
+                                .site_spacing = Meters{1800.0}};
+  // Thin nationwide low-band (DSS-based in 2022), better in the east.
+  p.deploy[idx(Tech::NR_LOW)] = {.avail_urban = 0.55,
+                                 .avail_suburban = 0.28,
+                                 .avail_rural = 0.075,
+                                 .timezone_scale = {0.8, 0.7, 1.1, 1.25},
+                                 .site_spacing = Meters{3200.0}};
+  // C-band mid-band just ramping up; mostly metro, east-leaning.
+  p.deploy[idx(Tech::NR_MID)] = {.avail_urban = 0.50,
+                                 .avail_suburban = 0.22,
+                                 .avail_rural = 0.045,
+                                 .timezone_scale = {0.9, 0.6, 1.1, 1.3},
+                                 .site_spacing = Meters{1500.0}};
+  // The flagship: downtown mmWave, by far the widest of the three.
+  p.deploy[idx(Tech::NR_MMWAVE)] = {.avail_urban = 0.55,
+                                    .avail_suburban = 0.06,
+                                    .avail_rural = 0.0,
+                                    .timezone_scale = {1.0, 0.8, 1.0, 1.1},
+                                    .site_spacing = Meters{280.0}};
+
+  p.policy = {.hs5g_given_dl = 0.85,
+              .hs5g_given_ul = 0.33,
+              .hs5g_given_interactive = 0.55,
+              .low5g_given_traffic = 0.72,
+              .any5g_given_idle = 0.10,
+              .policy_dwell = Millis{45'000.0}};
+
+  p.handover = {.median_dl = Millis{53.0},
+                .median_ul = Millis{49.0},
+                .sigma = 0.47,
+                .a3_offset = Db{3.0},
+                .time_to_trigger = Millis{256.0},
+                .measurement_noise_db = 2.8};
+
+  // Verizon uses fewer, wider mmWave beams: lower array gain, hence the
+  // -80..-110 dBm mmWave RSRP the paper reports (vs AT&T's -70..-90).
+  p.mmwave_beam_penalty = Db{12.0};
+  p.load_urban = 0.50;
+  p.load_suburban = 0.34;
+  p.load_rural = 0.22;
+  p.ca_extra_dl = 0.60;
+  p.ca_extra_ul = 0.05;  // Verizon rarely uses uplink CA
+  p.latency_per_mph = 0.10;
+  p.core_latency_ms = 0.5;
+  p.mmwave_max_cc_dl = 8;
+  p.ul_peak_scale = 1.0;  // rich peering + Wavelength presence
+  p.load_sigma = 0.20;
+  return p;
+}
+
+OperatorProfile make_tmobile() {
+  OperatorProfile p{};
+  p.id = OperatorId::TMobile;
+
+  p.deploy[idx(Tech::LTE)] = {.avail_urban = 1.0,
+                              .avail_suburban = 1.0,
+                              .avail_rural = 0.97,
+                              .timezone_scale = {1, 1, 1, 1},
+                              .site_spacing = Meters{2600.0}};
+  p.deploy[idx(Tech::LTE_A)] = {.avail_urban = 0.90,
+                                .avail_suburban = 0.80,
+                                .avail_rural = 0.60,
+                                .timezone_scale = {1, 1, 1, 1},
+                                .site_spacing = Meters{2200.0}};
+  // Extended-range 600 MHz blanket: the coverage leader.
+  p.deploy[idx(Tech::NR_LOW)] = {.avail_urban = 0.88,
+                                 .avail_suburban = 0.72,
+                                 .avail_rural = 0.45,
+                                 .timezone_scale = {1, 0.9, 1, 1},
+                                 .site_spacing = Meters{3600.0}};
+  // n41 mid-band along highways too -- the only carrier with significant
+  // high-speed 5G at 60+ mph; strongest in the Pacific zone (Fig. 2c).
+  p.deploy[idx(Tech::NR_MID)] = {.avail_urban = 0.90,
+                                 .avail_suburban = 0.62,
+                                 .avail_rural = 0.30,
+                                 .timezone_scale = {1.35, 0.85, 0.95, 1.0},
+                                 .site_spacing = Meters{1600.0}};
+  // Token mmWave; the paper rarely saw it.
+  p.deploy[idx(Tech::NR_MMWAVE)] = {.avail_urban = 0.012,
+                                    .avail_suburban = 0.0,
+                                    .avail_rural = 0.0,
+                                    .timezone_scale = {1, 0.5, 1, 1},
+                                    .site_spacing = Meters{280.0}};
+
+  p.policy = {.hs5g_given_dl = 0.90,
+              .hs5g_given_ul = 0.60,
+              .hs5g_given_interactive = 0.70,
+              .low5g_given_traffic = 0.78,
+              .any5g_given_idle = 0.30,
+              .policy_dwell = Millis{45'000.0}};
+
+  p.handover = {.median_dl = Millis{76.0},
+                .median_ul = Millis{75.0},
+                .sigma = 0.51,
+                .a3_offset = Db{2.5},
+                .time_to_trigger = Millis{256.0},
+                .measurement_noise_db = 1.2};
+
+  p.mmwave_beam_penalty = Db{6.0};
+  p.load_urban = 0.55;  // mid-band carries most load -> deep fluctuation
+  p.load_suburban = 0.38;
+  p.load_rural = 0.28;
+  p.ca_extra_dl = 0.60;
+  p.ca_extra_ul = 0.60;  // T-Mobile often aggregates 2 UL carriers
+  p.latency_per_mph = 0.12;
+  p.core_latency_ms = 6.0;
+  p.mmwave_max_cc_dl = 4;
+  p.ul_peak_scale = 0.60;
+  p.load_sigma = 0.30;  // heavily loaded n41: feast-or-famine samples
+  return p;
+}
+
+OperatorProfile make_att() {
+  OperatorProfile p{};
+  p.id = OperatorId::ATT;
+
+  // The best 4G footprint: LTE-A nearly everywhere.
+  p.deploy[idx(Tech::LTE)] = {.avail_urban = 1.0,
+                              .avail_suburban = 1.0,
+                              .avail_rural = 0.99,
+                              .timezone_scale = {1, 1, 1, 1},
+                              .site_spacing = Meters{2400.0}};
+  p.deploy[idx(Tech::LTE_A)] = {.avail_urban = 0.97,
+                                .avail_suburban = 0.93,
+                                .avail_rural = 0.85,
+                                .timezone_scale = {1, 1, 1, 1},
+                                .site_spacing = Meters{1500.0}};
+  // 850 MHz low-band 5G, but sparse in the Mountain/Central interior.
+  p.deploy[idx(Tech::NR_LOW)] = {.avail_urban = 0.78,
+                                 .avail_suburban = 0.50,
+                                 .avail_rural = 0.24,
+                                 .timezone_scale = {1.25, 0.30, 0.35, 1.3},
+                                 .site_spacing = Meters{3400.0}};
+  // Very thin mid-band (C-band ramping), metro only.
+  p.deploy[idx(Tech::NR_MID)] = {.avail_urban = 0.50,
+                                 .avail_suburban = 0.14,
+                                 .avail_rural = 0.015,
+                                 .timezone_scale = {1.1, 0.3, 0.4, 1.2},
+                                 .site_spacing = Meters{1700.0}};
+  // A handful of downtown mmWave pockets ("5G+").
+  p.deploy[idx(Tech::NR_MMWAVE)] = {.avail_urban = 0.30,
+                                    .avail_suburban = 0.01,
+                                    .avail_rural = 0.0,
+                                    .timezone_scale = {1.1, 0.4, 0.6, 1.1},
+                                    .site_spacing = Meters{280.0}};
+
+  p.policy = {.hs5g_given_dl = 0.80,
+              .hs5g_given_ul = 0.22,
+              .hs5g_given_interactive = 0.45,
+              .low5g_given_traffic = 0.75,
+              // Fig. 1d: the passive logger never saw AT&T 5G at all.
+              .any5g_given_idle = 0.0,
+              .policy_dwell = Millis{45'000.0}};
+
+  p.handover = {.median_dl = Millis{58.0},
+                .median_ul = Millis{57.0},
+                .sigma = 0.36,
+                .a3_offset = Db{3.0},
+                .time_to_trigger = Millis{320.0},
+                .measurement_noise_db = 2.6};
+
+  // AT&T's narrow high-gain beams: strong mmWave RSRP (-70..-90 dBm).
+  p.mmwave_beam_penalty = Db{0.0};
+  p.load_urban = 0.48;
+  p.load_suburban = 0.33;
+  p.load_rural = 0.21;
+  p.ca_extra_dl = 0.70;
+  p.ca_extra_ul = 0.30;
+  p.latency_per_mph = 0.04;
+  p.core_latency_ms = 8.0;
+  p.mmwave_max_cc_dl = 4;
+  p.ul_peak_scale = 0.45;
+  p.backhaul_scale = 1.45;
+  p.load_sigma = 0.15;
+  return p;
+}
+
+}  // namespace
+
+double TechDeployment::availability(Environment env, TimeZone tz) const {
+  double base = 0.0;
+  switch (env) {
+    case Environment::Urban: base = avail_urban; break;
+    case Environment::Suburban: base = avail_suburban; break;
+    case Environment::Rural: base = avail_rural; break;
+  }
+  const double scaled =
+      base * timezone_scale[static_cast<std::size_t>(tz)];
+  return scaled < 0.0 ? 0.0 : (scaled > 1.0 ? 1.0 : scaled);
+}
+
+const OperatorProfile& operator_profile(OperatorId op) {
+  static const OperatorProfile verizon = make_verizon();
+  static const OperatorProfile tmobile = make_tmobile();
+  static const OperatorProfile att = make_att();
+  switch (op) {
+    case OperatorId::Verizon: return verizon;
+    case OperatorId::TMobile: return tmobile;
+    case OperatorId::ATT: return att;
+  }
+  return verizon;
+}
+
+}  // namespace wheels::ran

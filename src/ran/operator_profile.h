@@ -1,0 +1,144 @@
+// Per-operator deployment strategies and service policies.
+//
+// The paper's central observation about coverage (Figs. 1-2) is that what a
+// UE experiences is the product of (a) where each operator deployed which
+// technology and (b) the operator's *promotion policy* -- whether it
+// elevates a UE from LTE to 5G given the current traffic. Both are modeled
+// here as data, calibrated to the paper's qualitative description:
+//
+//  - Verizon: prioritized mmWave in downtown areas of major cities; modest
+//    mid/low-band footprint, better in the eastern half; uses a small
+//    number of wide mmWave beams (lower beam gain -> lower RSRP).
+//  - T-Mobile: broad low-band + aggressive mid-band (n41), the only
+//    carrier with substantial mid-band on highways; mid-band strongest in
+//    the Pacific region.
+//  - AT&T: strongest LTE-A footprint, thin high-speed 5G (~3% of miles),
+//    very little 5G in the Mountain/Central zones; does not promote to 5G
+//    under light traffic at all (Fig. 1d shows zero 5G on the passive
+//    logger).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "core/sim_time.h"
+#include "core/units.h"
+#include "radio/pathloss.h"
+#include "radio/technology.h"
+
+namespace wheels::ran {
+
+enum class OperatorId : std::uint8_t { Verizon, TMobile, ATT };
+
+inline constexpr std::array<OperatorId, 3> kAllOperators = {
+    OperatorId::Verizon, OperatorId::TMobile, OperatorId::ATT};
+
+[[nodiscard]] constexpr std::string_view to_string(OperatorId op) {
+  switch (op) {
+    case OperatorId::Verizon: return "Verizon";
+    case OperatorId::TMobile: return "T-Mobile";
+    case OperatorId::ATT: return "AT&T";
+  }
+  return "?";
+}
+
+// Deployment of one technology layer for one operator.
+struct TechDeployment {
+  // Probability that a given corridor block (few km) has this layer
+  // deployed, per environment. Zero means the layer is absent there.
+  double avail_urban = 0.0;
+  double avail_suburban = 0.0;
+  double avail_rural = 0.0;
+  // Regional multiplier indexed by TimeZone (Pacific..Eastern), capturing
+  // e.g. T-Mobile's Pacific mid-band strength.
+  std::array<double, 4> timezone_scale{1.0, 1.0, 1.0, 1.0};
+  // Inter-site distance along the corridor when deployed.
+  Meters site_spacing{2000.0};
+
+  [[nodiscard]] double availability(radio::Environment env,
+                                    TimeZone tz) const;
+};
+
+// Traffic context the service policy conditions on.
+enum class TrafficProfile : std::uint8_t {
+  Idle,          // light ICMP keep-alive (handover-logger phones)
+  BackloggedDl,  // saturating downlink transfer
+  BackloggedUl,  // saturating uplink transfer
+  Interactive,   // app traffic: moderate bidirectional
+};
+
+struct ServicePolicy {
+  // P(promote to the named class | that class has radio coverage here),
+  // conditioned on the traffic profile. High-speed = mid-band or mmWave.
+  double hs5g_given_dl = 0.9;
+  double hs5g_given_ul = 0.4;
+  double hs5g_given_interactive = 0.6;
+  double low5g_given_traffic = 0.8;  // any backlogged/interactive traffic
+  double any5g_given_idle = 0.1;     // the passive-logger artifact knob
+  // Dwell time between policy re-evaluations (promotion decisions are
+  // sticky at second scale, not per-slot).
+  Millis policy_dwell{5'000.0};
+};
+
+struct HandoverTiming {
+  // Interruption (data stall) duration: lognormal(median, sigma).
+  Millis median_dl{55.0};
+  Millis median_ul{52.0};
+  double sigma = 0.45;  // log-space sigma
+  // A3-event parameters.
+  Db a3_offset{3.0};
+  Millis time_to_trigger{320.0};
+  // RSRP measurement noise entering the A3 comparison: larger values give
+  // more boundary ping-pong (more handovers per mile).
+  double measurement_noise_db = 1.5;
+};
+
+struct OperatorProfile {
+  OperatorId id;
+  std::array<TechDeployment, 5> deploy;  // indexed by Tech
+  ServicePolicy policy;
+  HandoverTiming handover;
+  // Extra loss applied to mmWave RSRP (Verizon's wide beams, §5.5 "RSRP").
+  Db mmwave_beam_penalty{0.0};
+  // Cell-load model: mean background load (fraction of PRBs taken by other
+  // users), per environment.
+  double load_urban = 0.55;
+  double load_suburban = 0.45;
+  double load_rural = 0.30;
+  // Carrier-aggregation propensity: probability that each additional CC
+  // beyond the first is configured. Verizon rarely aggregates uplink
+  // carriers; T-Mobile often runs 2 UL CCs (§5.5 "CA").
+  double ca_extra_dl = 0.6;
+  double ca_extra_ul = 0.2;
+  // Downlink component carriers the operator's mmWave deployment actually
+  // aggregates (Verizon's 8CC "ultra wideband" vs thinner rivals).
+  int mmwave_max_cc_dl = 4;
+  // Scale on the achievable uplink rate: how much UL spectrum/grant the
+  // operator actually provisions (Verizon's UL clearly outclasses the
+  // others in the study's static tests: 167 vs 62 vs 39 Mbps medians).
+  double ul_peak_scale = 1.0;
+  // RAN latency sensitivity to vehicle speed (ms of extra one-way latency
+  // per mph). Fig. 8: Verizon and T-Mobile RTTs grow with speed; AT&T's
+  // are dominated by its LTE anchor instead.
+  double latency_per_mph = 0.1;
+  // Extra one-way core-network latency (ms): how deep in the operator's
+  // core the internet peering sits.
+  double core_latency_ms = 5.0;
+  // Multiplier on every site's wired backhaul: AT&T's wireline backbone
+  // gives its cells better transport than the pure-wireless rivals.
+  double backhaul_scale = 1.0;
+  // Spread of per-cell background load around the environment mean: large
+  // values produce the bimodal "great or terrible" behaviour T-Mobile's
+  // loaded n41 mid-band shows (40% of samples below 2 Mbps, Fig. 4).
+  double load_sigma = 0.18;
+
+  [[nodiscard]] const TechDeployment& deployment(radio::Tech t) const {
+    return deploy[static_cast<std::size_t>(t)];
+  }
+};
+
+// The calibrated profile for each of the three operators.
+[[nodiscard]] const OperatorProfile& operator_profile(OperatorId op);
+
+}  // namespace wheels::ran

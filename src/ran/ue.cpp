@@ -1,0 +1,471 @@
+#include "ran/ue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "radio/link_budget.h"
+
+namespace wheels::ran {
+namespace {
+
+using radio::Direction;
+using radio::Environment;
+using radio::Tech;
+
+constexpr std::size_t idx(Tech t) { return static_cast<std::size_t>(t); }
+
+// One-way RAN latency floor per technology (scheduling + frame alignment).
+Millis base_air_latency(Tech t) {
+  switch (t) {
+    case Tech::LTE: return Millis{16.0};
+    case Tech::LTE_A: return Millis{13.0};
+    case Tech::NR_LOW: return Millis{12.0};
+    case Tech::NR_MID: return Millis{9.0};
+    case Tech::NR_MMWAVE: return Millis{3.5};
+  }
+  return Millis{16.0};
+}
+
+}  // namespace
+
+UeSimulator::UeSimulator(const Corridor& corridor,
+                         const Deployment& deployment,
+                         const OperatorProfile& profile, Rng rng,
+                         TrafficProfile traffic)
+    : corridor_(corridor),
+      deployment_(deployment),
+      profile_(profile),
+      rng_(rng),
+      traffic_(traffic),
+      blockage_(rng.fork("blockage"), Tech::NR_MMWAVE),
+      fading_sub6_(rng.fork("fading-sub6"), Tech::NR_MID),
+      fading_mmwave_(rng.fork("fading-mmw"), Tech::NR_MMWAVE) {}
+
+void UeSimulator::set_traffic(TrafficProfile t) {
+  if (t == traffic_) return;
+  traffic_ = t;
+  policy_initialized_ = false;  // re-evaluate promptly with the new context
+}
+
+std::size_t UeSimulator::unique_cell_count() const {
+  std::vector<CellId> v = seen_cells_;
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v.size();
+}
+
+void UeSimulator::clear_history() {
+  handovers_.clear();
+  // seen_cells_ intentionally kept: Table 1 counts over the whole campaign.
+}
+
+double UeSimulator::draw_cell_load(Environment env) {
+  if (favourable_) {
+    // Hand-picked static spot: moderately loaded downtown sector.
+    return std::clamp(
+        target_load(env) * 0.9 + rng_.normal(0.0, 0.5 * profile_.load_sigma),
+        0.03, 0.70);
+  }
+  // A third of the cells along an interstate are congested (sector
+  // overload) -- the main source of the paper's heavy <5 Mbps tail.
+  if (rng_.chance(0.40)) return rng_.uniform(0.82, 0.99);
+  return std::clamp(target_load(env) + rng_.normal(0.0, profile_.load_sigma),
+                    0.03, 0.98);
+}
+
+double UeSimulator::target_load(Environment env) const {
+  switch (env) {
+    case Environment::Urban: return profile_.load_urban;
+    case Environment::Suburban: return profile_.load_suburban;
+    case Environment::Rural: return profile_.load_rural;
+  }
+  return 0.4;
+}
+
+Dbm UeSimulator::layer_rsrp(Tech tech, const Cell& cell, Meters pos,
+                            Environment env, Db shadow) const {
+  radio::ChannelState ch;
+  ch.shadowing = Db{shadow.value - cell.site_offset_db};
+  if (tech == Tech::NR_MMWAVE) {
+    ch.shadowing = ch.shadowing + profile_.mmwave_beam_penalty;
+  }
+  return radio::rsrp(tech, env, Deployment::distance_to(cell, pos), ch);
+}
+
+void UeSimulator::update_candidates(Meters pos, Meters travelled) {
+  const Environment env = corridor_.at(pos).env;
+  for (Tech tech : radio::kAllTechs) {
+    auto& layer = layers_[idx(tech)];
+    if (!layer) {
+      layer.emplace(LayerState{
+          radio::ShadowingProcess::for_tech(
+              rng_.fork(to_string(tech)).fork("shadow"), tech, env),
+          nullptr, Dbm{-160.0}});
+    }
+    const Db shadow = layer->shadowing.advance(travelled);
+    layer->candidate = deployment_.nearest_cell(tech, pos);
+    layer->rsrp = layer->candidate
+                      ? layer_rsrp(tech, *layer->candidate, pos, env, shadow)
+                      : Dbm{-160.0};
+  }
+}
+
+void UeSimulator::evaluate_policy(SimTime now, Meters pos, Mph speed) {
+  const auto candidate = [&](Tech t) -> const Cell* {
+    return layers_[idx(t)] ? layers_[idx(t)]->candidate : nullptr;
+  };
+  const Cell* mmw = candidate(Tech::NR_MMWAVE);
+  const Cell* mid = candidate(Tech::NR_MID);
+  const Cell* low = candidate(Tech::NR_LOW);
+  const Cell* ltea = candidate(Tech::LTE_A);
+  const Cell* lte = candidate(Tech::LTE);
+
+  const ServicePolicy& pol = profile_.policy;
+  double p_hs = 0.0;
+  double p_any5g = 0.0;
+  switch (traffic_) {
+    case TrafficProfile::BackloggedDl:
+      p_hs = pol.hs5g_given_dl;
+      p_any5g = pol.low5g_given_traffic;
+      break;
+    case TrafficProfile::BackloggedUl:
+      p_hs = pol.hs5g_given_ul;
+      p_any5g = pol.low5g_given_traffic;
+      break;
+    case TrafficProfile::Interactive:
+      p_hs = pol.hs5g_given_interactive;
+      p_any5g = pol.low5g_given_traffic;
+      break;
+    case TrafficProfile::Idle:
+      // Operators almost never elevate an idle UE to high-speed 5G --
+      // the source of the passive-logger artifact (Fig. 1) -- and mmWave
+      // essentially only when (nearly) stationary next to a site (Fig. 8).
+      p_hs = pol.any5g_given_idle * 0.3;
+      p_any5g = pol.any5g_given_idle;
+      break;
+  }
+
+  // Standing right under a high-speed-5G site (the static baselines, or a
+  // red light next to a mmWave pole): the strong CQI makes the operator
+  // much more willing to promote.
+  if (traffic_ != TrafficProfile::Idle) {
+    const bool very_close =
+        (mmw && Deployment::distance_to(*mmw, pos).value < 120.0) ||
+        (mid && Deployment::distance_to(*mid, pos).value < 250.0);
+    if (very_close) {
+      // Uplink promotion stays more conservative even next to the site.
+      p_hs = std::max(
+          p_hs, traffic_ == TrafficProfile::BackloggedUl ? 0.60 : 0.88);
+    }
+  }
+
+  Tech pick;
+  const Cell* pick_cell = nullptr;
+  const bool mmwave_allowed =
+      traffic_ != TrafficProfile::Idle || speed.value < 5.0;
+  if ((mmw || mid) && rng_.chance(p_hs)) {
+    if (mmw && mmwave_allowed) {
+      pick = Tech::NR_MMWAVE;
+      pick_cell = mmw;
+    } else if (mid) {
+      pick = Tech::NR_MID;
+      pick_cell = mid;
+    } else {
+      pick = Tech::NR_MMWAVE;
+      pick_cell = mmw;
+    }
+  } else if (low && rng_.chance(p_any5g)) {
+    pick = Tech::NR_LOW;
+    pick_cell = low;
+  } else if (ltea) {
+    pick = Tech::LTE_A;
+    pick_cell = ltea;
+  } else if (lte) {
+    pick = Tech::LTE;
+    pick_cell = lte;
+  } else if (low) {
+    pick = Tech::NR_LOW;
+    pick_cell = low;
+  } else if (mid) {
+    pick = Tech::NR_MID;
+    pick_cell = mid;
+  } else {
+    connected_ = false;
+    serving_cell_ = nullptr;
+    policy_initialized_ = true;
+    next_policy_eval_ =
+        now + profile_.policy.policy_dwell * rng_.uniform(0.7, 1.3);
+    return;
+  }
+
+  // Carrier-aggregation configuration is re-negotiated with the decision.
+  const radio::BandProfile& bp = radio::band_profile(pick);
+  auto draw_cc = [&](int max_cc, double p_extra) {
+    int cc = 1;
+    for (int i = 1; i < max_cc; ++i) {
+      if (rng_.chance(p_extra)) ++cc;
+    }
+    return cc;
+  };
+  int max_cc_dl = bp.max_cc_dl;
+  if (pick == Tech::NR_MMWAVE) {
+    max_cc_dl = std::min(max_cc_dl, profile_.mmwave_max_cc_dl);
+  }
+  num_cc_dl_ = draw_cc(max_cc_dl, profile_.ca_extra_dl);
+  num_cc_ul_ = draw_cc(bp.max_cc_ul, profile_.ca_extra_ul);
+
+  const bool tech_change = !connected_ || pick != serving_tech_;
+  const bool cell_change =
+      connected_ && serving_cell_ && pick_cell->id != serving_cell_->id;
+  if (tech_change || cell_change) {
+    if (connected_ && serving_cell_) {
+      begin_handover(now, pos, pick, pick_cell);
+    } else {
+      // Initial attach: no handover event.
+      serving_tech_ = pick;
+      serving_cell_ = pick_cell;
+      connected_ = true;
+      seen_cells_.push_back(pick_cell->id);
+      const Environment env = corridor_.at(pos).env;
+      load_ = load_target_ = draw_cell_load(env);
+    }
+  }
+  policy_initialized_ = true;
+  next_policy_eval_ =
+      now + profile_.policy.policy_dwell * rng_.uniform(0.7, 1.3);
+}
+
+Millis UeSimulator::sample_ho_duration() {
+  const HandoverTiming& ht = profile_.handover;
+  const Millis med = traffic_ == TrafficProfile::BackloggedUl
+                         ? ht.median_ul
+                         : ht.median_dl;
+  return Millis{med.value * std::exp(rng_.normal(0.0, ht.sigma))};
+}
+
+void UeSimulator::begin_handover(SimTime now, Meters pos, Tech to_tech,
+                                 const Cell* to_cell) {
+  HandoverRecord rec;
+  rec.time = now;
+  rec.duration = sample_ho_duration();
+  rec.from_tech = serving_tech_;
+  rec.to_tech = to_tech;
+  rec.from_cell = serving_cell_ ? serving_cell_->id : 0;
+  rec.to_cell = to_cell->id;
+  rec.position = pos;
+  handovers_.push_back(rec);
+
+  serving_tech_ = to_tech;
+  serving_cell_ = to_cell;
+  connected_ = true;
+  ho_remaining_ = rec.duration;
+  a3_target_ = nullptr;
+  a3_accumulated_ = Millis{0.0};
+  seen_cells_.push_back(to_cell->id);
+  // New cell, new load conditions. An upgrade to 5G is not blind: the
+  // network promotes UEs toward cells with spare capacity, so redraw once
+  // if the first draw came up congested.
+  const Environment env = corridor_.at(pos).env;
+  load_ = load_target_ = draw_cell_load(env);
+  if (radio::is_5g(rec.to_tech) && !radio::is_5g(rec.from_tech) &&
+      load_ > 0.8) {
+    load_ = load_target_ = draw_cell_load(env);
+  }
+}
+
+void UeSimulator::maybe_start_handover(SimTime now, Meters pos, Millis dt) {
+  if (!connected_ || !serving_cell_) return;
+  auto& layer = layers_[idx(serving_tech_)];
+  if (!layer) return;
+
+  const Environment env = corridor_.at(pos).env;
+  const Meters serving_dist = Deployment::distance_to(*serving_cell_, pos);
+  const Meters range = Deployment::service_range(serving_tech_, profile_);
+
+  // Radio-link failure: serving cell left behind; snap to whatever the
+  // layer offers now, or force a policy re-evaluation (possibly dropping
+  // to another technology).
+  if (serving_dist.value > range.value * 1.2) {
+    if (layer->candidate && layer->candidate->id != serving_cell_->id) {
+      begin_handover(now, pos, serving_tech_, layer->candidate);
+    } else {
+      policy_initialized_ = false;
+    }
+    return;
+  }
+
+  const Cell* neighbour = layer->candidate;
+  if (!neighbour || neighbour->id == serving_cell_->id) {
+    a3_target_ = nullptr;
+    a3_accumulated_ = Millis{0.0};
+    return;
+  }
+
+  // A3 event: neighbour better than serving by the offset, sustained for
+  // the time-to-trigger. Measurement noise makes the comparison flicker,
+  // which is the source of occasional ping-pong handovers.
+  const Db shadow = layer->shadowing.current();
+  const Dbm serving_rsrp =
+      layer_rsrp(serving_tech_, *serving_cell_, pos, env, shadow);
+  const Dbm neigh_rsrp =
+      layer_rsrp(serving_tech_, *neighbour, pos, env, shadow);
+  const double noise_db =
+      rng_.normal(0.0, profile_.handover.measurement_noise_db);
+  const double advantage =
+      neigh_rsrp.value - serving_rsrp.value + noise_db;
+
+  if (advantage > profile_.handover.a3_offset.value) {
+    if (a3_target_ != neighbour) {
+      a3_target_ = neighbour;
+      a3_target_tech_ = serving_tech_;
+      a3_accumulated_ = Millis{0.0};
+    }
+    a3_accumulated_ += dt;
+    if (a3_accumulated_.value >= profile_.handover.time_to_trigger.value) {
+      begin_handover(now, pos, serving_tech_, neighbour);
+    }
+  } else {
+    a3_target_ = nullptr;
+    a3_accumulated_ = Millis{0.0};
+  }
+}
+
+LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
+  const Meters travelled =
+      first_step_ ? Meters{0.0} : Meters{pos.value - last_pos_.value};
+  last_pos_ = pos;
+  first_step_ = false;
+
+  update_candidates(pos, travelled);
+
+  // Coverage signature: which technology layers are usable here. The
+  // serving decision is sticky -- it is only reconsidered when the
+  // signature changes (a layer appeared/disappeared), the traffic context
+  // changed (set_traffic), or the dwell expires.
+  unsigned signature = 0;
+  for (Tech t : radio::kAllTechs) {
+    if (layers_[idx(t)] && layers_[idx(t)]->candidate) {
+      signature |= 1u << idx(t);
+    }
+  }
+  if (!policy_initialized_ || signature != last_avail_signature_ ||
+      !(now < next_policy_eval_)) {
+    last_avail_signature_ = signature;
+    evaluate_policy(now, pos, speed);
+  }
+  // Coverage lost for the serving technology: re-evaluate immediately.
+  if (connected_ && serving_cell_) {
+    const Meters d = Deployment::distance_to(*serving_cell_, pos);
+    if (d.value >
+        Deployment::service_range(serving_tech_, profile_).value * 1.2) {
+      maybe_start_handover(now, pos, dt);
+    }
+  }
+  if (!connected_) {
+    evaluate_policy(now, pos, speed);
+  }
+
+  // Serving-cell load drifts as an OU process.
+  const Environment env = corridor_.at(pos).env;
+  {
+    // The load fluctuates around the cell's own character: a congested
+    // cell stays congested for the whole dwell on it.
+    const double theta = std::min(1.0, dt.value / 60'000.0);
+    load_ += theta * (load_target_ - load_) +
+             0.35 * profile_.load_sigma *
+                 std::sqrt(std::min(1.0, dt.value / 1'000.0)) *
+                 rng_.normal();
+    load_ = std::clamp(load_, 0.03, 0.98);
+  }
+
+  LinkSample s;
+  s.cell_load = load_;
+  if (!connected_ || !serving_cell_) {
+    return s;  // disconnected sample: rate 0, rsrp floor
+  }
+
+  // Handover progression.
+  if (ho_remaining_.value > 0.0) {
+    ho_remaining_ -= dt;
+    s.in_handover = true;
+  } else {
+    maybe_start_handover(now, pos, dt);
+    if (ho_remaining_.value > 0.0) s.in_handover = true;
+  }
+
+  const Tech tech = serving_tech_;
+  auto& layer = layers_[idx(tech)];
+  const Db shadow = layer->shadowing.current();
+  const Meters dist = Deployment::distance_to(*serving_cell_, pos);
+
+  s.connected = true;
+  s.tech = tech;
+  s.cell = serving_cell_->id;
+  s.rsrp = layer_rsrp(tech, *serving_cell_, pos, env, shadow);
+
+  // Channel for SINR: shadowing + fast fading + blockage.
+  radio::ChannelState ch;
+  ch.shadowing = Db{shadow.value - serving_cell_->site_offset_db +
+                    (tech == Tech::NR_MMWAVE
+                         ? profile_.mmwave_beam_penalty.value
+                         : 0.0)};
+  ch.blockage_loss = blockage_.advance(dt);
+  const double doppler_scale = 1.0 + speed.value / 150.0;
+  const Db ff = (tech == Tech::NR_MMWAVE ? fading_mmwave_ : fading_sub6_)
+                    .sample_db();
+  ch.fast_fading = Db{ff.value * doppler_scale};
+
+  // Neighbour-cell interference grows with load and towards the cell
+  // edge (frequency reuse 1).
+  const double range =
+      Deployment::service_range(tech, profile_).value;
+  const double edge = std::max(0.0, dist.value / range - 0.55) / 0.45;
+  // Channel aging: at speed, CQI reports lag the channel and beam/MIMO
+  // tracking degrades, costing effective SINR.
+  const double aging_db = std::min(9.0, 0.12 * speed.value);
+  const Db margin_dl{2.0 + 22.0 * load_ + 9.0 * edge + aging_db};
+  const Db margin_ul{1.0 + 7.0 * load_ + 5.0 * edge + aging_db};
+  s.sinr_dl = radio::sinr_downlink(tech, env, dist, ch, margin_dl);
+  s.sinr_ul = radio::sinr_uplink(tech, env, dist, ch, margin_ul);
+
+  // Downlink PRBs are contended by every user of the cell; the uplink is
+  // typically emptier, so the backlogged UE keeps a larger share there.
+  const double prb_dl = std::max(0.02, std::pow(1.0 - load_, 1.5));
+  const double prb_ul = std::max(0.06, std::pow(1.0 - load_, 0.6));
+  const auto dl = radio::compute_phy_rate(tech, Direction::Downlink,
+                                          s.sinr_dl, num_cc_dl_, prb_dl);
+  const auto ul = radio::compute_phy_rate(tech, Direction::Uplink, s.sinr_ul,
+                                          num_cc_ul_, prb_ul);
+  s.mcs_dl = dl.mcs;
+  s.mcs_ul = ul.mcs;
+  s.bler_dl = dl.bler;
+  s.bler_ul = ul.bler;
+  s.num_cc_dl = dl.num_cc;
+  s.num_cc_ul = ul.num_cc;
+  // The site's wired backhaul caps what the radio can deliver; the cap is
+  // shared with the other users of the cell.
+  Mbps rate_dl = dl.rate;
+  Mbps rate_ul = ul.rate * profile_.ul_peak_scale;
+  if (!favourable_) {
+    const double bh =
+        serving_cell_->backhaul_dl_mbps * profile_.backhaul_scale;
+    const double bh_share = std::max(0.08, 1.0 - 0.75 * load_);
+    rate_dl = std::min(rate_dl, Mbps{bh * bh_share});
+    rate_ul = std::min(rate_ul, Mbps{bh / 4.5 * bh_share});
+  }
+  s.phy_rate_dl = s.in_handover ? Mbps{0.0} : rate_dl;
+  s.phy_rate_ul = s.in_handover ? Mbps{0.0} : rate_ul;
+
+  // One-way RAN latency: technology floor + load-dependent queueing +
+  // HARQ retransmission spikes + speed sensitivity.
+  double lat = base_air_latency(tech).value + profile_.core_latency_ms;
+  lat += rng_.exponential(1.0 + 6.0 * load_);
+  if (rng_.chance(std::min(0.5, dl.bler))) lat += rng_.exponential(12.0);
+  lat += profile_.latency_per_mph * speed.value;
+  if (s.in_handover) lat += std::max(0.0, ho_remaining_.value);
+  s.air_latency = Millis{std::max(0.5, lat)};
+
+  return s;
+}
+
+}  // namespace wheels::ran

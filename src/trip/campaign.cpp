@@ -1,0 +1,468 @@
+#include "trip/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stats.h"
+#include "net/ping.h"
+#include "radio/phy_rate.h"
+
+namespace wheels::trip {
+namespace {
+
+using radio::Direction;
+using radio::Tech;
+using ran::OperatorId;
+
+std::vector<net::EdgeSite> edge_sites_from(const Route& route) {
+  std::vector<net::EdgeSite> sites;
+  for (const auto& c : route.cities()) {
+    if (c.has_edge_server) sites.push_back({c.name, c.route_pos});
+  }
+  return sites;
+}
+
+}  // namespace
+
+struct Campaign::PhoneSet {
+  OperatorId op;
+  ran::UeSimulator test_ue;
+  ran::UeSimulator passive_ue;
+  net::CubicFlow flow;
+  Rng rng;
+  Millis passive_step_accum{0.0};
+  Millis passive_log_accum{0.0};
+
+  PhoneSet(OperatorId op_, const ran::Corridor& corridor,
+           const ran::Deployment& dep, Rng r)
+      : op(op_),
+        test_ue(corridor, dep, ran::operator_profile(op_), r.fork("test"),
+                ran::TrafficProfile::Idle),
+        passive_ue(corridor, dep, ran::operator_profile(op_),
+                   r.fork("passive"), ran::TrafficProfile::Idle),
+        flow(r.fork("tcp")),
+        rng(r.fork("misc")) {}
+};
+
+Campaign::Campaign(CampaignConfig cfg)
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      route_(Route::cross_country()),
+      corridor_(build_corridor(route_, rng_.fork("corridor"))),
+      servers_(edge_sites_from(route_)),
+      trip_(route_, corridor_, rng_.fork("trip"), cfg.drive) {
+  for (OperatorId op : ran::kAllOperators) {
+    const auto i = static_cast<std::size_t>(op);
+    deployments_[i] = std::make_unique<ran::Deployment>(
+        ran::Deployment::generate(corridor_, ran::operator_profile(op),
+                                  rng_.fork(to_string(op))));
+    phones_.push_back(std::make_unique<PhoneSet>(
+        op, corridor_, *deployments_[i], rng_.fork(to_string(op)).fork("ue")));
+    result_.logs[i].op = op;
+  }
+}
+
+Campaign::~Campaign() = default;
+
+const ran::Deployment& Campaign::deployment(OperatorId op) const {
+  return *deployments_[static_cast<std::size_t>(op)];
+}
+
+void Campaign::step_passive(Millis dt) {
+  // Passive phones sample coarsely (their ping cadence is 200 ms) and log
+  // a technology record every second.
+  const TripPoint& pt = trip_.current();
+  for (auto& ph : phones_) {
+    ph->passive_step_accum += dt;
+    ph->passive_log_accum += dt;
+    if (ph->passive_step_accum.value >= 200.0) {
+      const auto link = ph->passive_ue.step(pt.time, pt.position, pt.speed,
+                                            ph->passive_step_accum);
+      ph->passive_step_accum = Millis{0.0};
+      if (ph->passive_log_accum.value >= 1'000.0) {
+        ph->passive_log_accum = Millis{0.0};
+        PassiveSample ps;
+        ps.time = pt.time;
+        ps.op = ph->op;
+        ps.position = pt.position;
+        ps.speed = pt.speed;
+        ps.tz = corridor_.at(pt.position).tz;
+        ps.connected = link.connected;
+        ps.tech = link.tech;
+        ps.cell = link.cell;
+        result_.logs[static_cast<std::size_t>(ph->op)].passive.push_back(ps);
+      }
+    }
+  }
+}
+
+void Campaign::run_bulk_test(TestType type, int test_id) {
+  const Direction dir = type == TestType::DownlinkBulk
+                            ? Direction::Downlink
+                            : Direction::Uplink;
+  const auto traffic = type == TestType::DownlinkBulk
+                           ? ran::TrafficProfile::BackloggedDl
+                           : ran::TrafficProfile::BackloggedUl;
+
+  struct WindowAccum {
+    double rsrp = 0.0, mcs = 0.0, bler = 0.0, cc = 0.0;
+    double bytes = 0.0;
+    int slots = 0, connected_slots = 0;
+    std::array<int, 5> tech_slots{};
+  };
+  struct PhoneTestState {
+    WindowAccum win;
+    net::ServerEndpoint server;
+    std::size_t ho_base = 0;
+    std::size_t ho_window_base = 0;
+    std::vector<double> window_tputs;
+    int hs5g_slots = 0;
+    int total_slots = 0;
+    double total_bytes = 0.0;
+  };
+  std::array<PhoneTestState, 3> st;
+
+  const TripPoint start_pt = trip_.current();
+  const TimeZone start_tz = corridor_.at(start_pt.position).tz;
+  for (auto& ph : phones_) {
+    const auto i = static_cast<std::size_t>(ph->op);
+    ph->test_ue.set_traffic(traffic);
+    ph->flow.restart();
+    st[i].server = servers_.select(ph->op, start_pt.position, start_tz);
+    st[i].ho_base = ph->test_ue.handovers().size();
+    st[i].ho_window_base = st[i].ho_base;
+  }
+
+  Millis elapsed{0.0};
+  Millis window_elapsed{0.0};
+  while (elapsed.value < cfg_.tput_test_duration.value && !trip_.finished()) {
+    const TripPoint pt = trip_.advance(cfg_.slot);
+    elapsed += cfg_.slot;
+    window_elapsed += cfg_.slot;
+    step_passive(cfg_.slot);
+
+    for (auto& ph : phones_) {
+      const auto i = static_cast<std::size_t>(ph->op);
+      const auto link =
+          ph->test_ue.step(pt.time, pt.position, pt.speed, cfg_.slot);
+      const Millis base_rtt = link.air_latency * 2.0 +
+                              st[i].server.one_way_delay * 2.0;
+      const double bytes =
+          ph->flow.step(cfg_.slot, link.phy_rate(dir), base_rtt);
+      auto& w = st[i].win;
+      ++w.slots;
+      ++st[i].total_slots;
+      if (link.connected) {
+        ++w.connected_slots;
+        w.rsrp += link.rsrp.value;
+        w.mcs += dir == Direction::Downlink ? link.mcs_dl : link.mcs_ul;
+        w.bler += dir == Direction::Downlink ? link.bler_dl : link.bler_ul;
+        w.cc += dir == Direction::Downlink ? link.num_cc_dl : link.num_cc_ul;
+        ++w.tech_slots[static_cast<std::size_t>(link.tech)];
+        if (radio::is_high_speed(link.tech)) ++st[i].hs5g_slots;
+      }
+      w.bytes += bytes;
+      st[i].total_bytes += bytes;
+    }
+
+    if (window_elapsed.value >= cfg_.sample_window.value) {
+      for (auto& ph : phones_) {
+        const auto i = static_cast<std::size_t>(ph->op);
+        auto& w = st[i].win;
+        KpiSample s;
+        s.time = pt.time;
+        s.test_id = test_id;
+        s.test = type;
+        s.op = ph->op;
+        s.position = pt.position;
+        s.speed = pt.speed;
+        s.tz = corridor_.at(pt.position).tz;
+        s.env = corridor_.at(pt.position).env;
+        s.connected = w.connected_slots > 0;
+        if (s.connected) {
+          const double n = w.connected_slots;
+          s.rsrp_dbm = w.rsrp / n;
+          s.mcs = w.mcs / n;
+          s.bler = w.bler / n;
+          s.num_cc = w.cc / n;
+          const auto it = std::max_element(w.tech_slots.begin(),
+                                           w.tech_slots.end());
+          s.tech = static_cast<Tech>(it - w.tech_slots.begin());
+        }
+        s.tput_mbps = w.bytes * 8.0 / window_elapsed.value / 1e3;
+        const auto& hos = ph->test_ue.handovers();
+        s.handovers =
+            static_cast<int>(hos.size() - st[i].ho_window_base);
+        st[i].ho_window_base = hos.size();
+        s.server = st[i].server.kind;
+        result_.logs[i].kpi.push_back(s);
+        st[i].window_tputs.push_back(s.tput_mbps);
+        w = WindowAccum{};
+      }
+      window_elapsed = Millis{0.0};
+    }
+  }
+
+  const TripPoint end_pt = trip_.current();
+  for (auto& ph : phones_) {
+    const auto i = static_cast<std::size_t>(ph->op);
+    if (st[i].window_tputs.empty()) continue;
+    RunningStats rs;
+    for (double v : st[i].window_tputs) rs.add(v);
+    TestSummary sum;
+    sum.test_id = test_id;
+    sum.test = type;
+    sum.op = ph->op;
+    sum.start = start_pt.time;
+    sum.duration = elapsed;
+    sum.start_position = start_pt.position;
+    sum.distance = end_pt.position - start_pt.position;
+    sum.tz = start_tz;
+    sum.server = st[i].server.kind;
+    sum.mean = rs.mean();
+    sum.stddev = rs.stddev();
+    sum.samples = static_cast<int>(rs.count());
+    sum.handovers = static_cast<int>(ph->test_ue.handovers().size() -
+                                     st[i].ho_base);
+    sum.frac_high_speed_5g =
+        st[i].total_slots
+            ? static_cast<double>(st[i].hs5g_slots) / st[i].total_slots
+            : 0.0;
+    sum.bytes_transferred = st[i].total_bytes;
+    result_.logs[i].tests.push_back(sum);
+  }
+}
+
+void Campaign::run_rtt_test(int test_id) {
+  struct PhoneTestState {
+    net::ServerEndpoint server;
+    Millis since_ping{1e9};
+    std::vector<double> rtts;
+    int hs5g_slots = 0;
+    int total_slots = 0;
+    std::size_t ho_base = 0;
+  };
+  std::array<PhoneTestState, 3> st;
+
+  const TripPoint start_pt = trip_.current();
+  const TimeZone start_tz = corridor_.at(start_pt.position).tz;
+  for (auto& ph : phones_) {
+    const auto i = static_cast<std::size_t>(ph->op);
+    ph->test_ue.set_traffic(ran::TrafficProfile::Idle);
+    st[i].server = servers_.select(ph->op, start_pt.position, start_tz);
+    st[i].ho_base = ph->test_ue.handovers().size();
+  }
+
+  Millis elapsed{0.0};
+  while (elapsed.value < cfg_.rtt_test_duration.value && !trip_.finished()) {
+    const TripPoint pt = trip_.advance(cfg_.slot);
+    elapsed += cfg_.slot;
+    step_passive(cfg_.slot);
+
+    for (auto& ph : phones_) {
+      const auto i = static_cast<std::size_t>(ph->op);
+      const auto link =
+          ph->test_ue.step(pt.time, pt.position, pt.speed, cfg_.slot);
+      ++st[i].total_slots;
+      if (link.connected && radio::is_high_speed(link.tech)) {
+        ++st[i].hs5g_slots;
+      }
+      st[i].since_ping += cfg_.slot;
+      if (st[i].since_ping.value >= cfg_.ping_interval.value) {
+        st[i].since_ping = Millis{0.0};
+        const auto rtt =
+            net::ping_rtt(link, st[i].server.one_way_delay, ph->rng);
+        RttSample s;
+        s.time = pt.time;
+        s.test_id = test_id;
+        s.op = ph->op;
+        s.position = pt.position;
+        s.speed = pt.speed;
+        s.tz = corridor_.at(pt.position).tz;
+        s.success = rtt.has_value();
+        s.rtt_ms = rtt ? rtt->value : 0.0;
+        s.connected = link.connected;
+        s.tech = link.tech;
+        s.server = st[i].server.kind;
+        result_.logs[i].rtt.push_back(s);
+        if (rtt) st[i].rtts.push_back(rtt->value);
+      }
+    }
+  }
+
+  const TripPoint end_pt = trip_.current();
+  for (auto& ph : phones_) {
+    const auto i = static_cast<std::size_t>(ph->op);
+    if (st[i].rtts.empty()) continue;
+    RunningStats rs;
+    for (double v : st[i].rtts) rs.add(v);
+    TestSummary sum;
+    sum.test_id = test_id;
+    sum.test = TestType::Ping;
+    sum.op = ph->op;
+    sum.start = start_pt.time;
+    sum.duration = elapsed;
+    sum.start_position = start_pt.position;
+    sum.distance = end_pt.position - start_pt.position;
+    sum.tz = start_tz;
+    sum.server = st[i].server.kind;
+    sum.mean = rs.mean();
+    sum.stddev = rs.stddev();
+    sum.samples = static_cast<int>(rs.count());
+    sum.handovers = static_cast<int>(ph->test_ue.handovers().size() -
+                                     st[i].ho_base);
+    sum.frac_high_speed_5g =
+        st[i].total_slots
+            ? static_cast<double>(st[i].hs5g_slots) / st[i].total_slots
+            : 0.0;
+    result_.logs[i].tests.push_back(sum);
+  }
+}
+
+void Campaign::run_gap(Millis duration) {
+  const Millis step{100.0};
+  for (auto& ph : phones_) {
+    ph->test_ue.set_traffic(ran::TrafficProfile::Idle);
+  }
+  Millis elapsed{0.0};
+  while (elapsed.value < duration.value && !trip_.finished()) {
+    const TripPoint pt = trip_.advance(step);
+    elapsed += step;
+    step_passive(step);
+    for (auto& ph : phones_) {
+      ph->test_ue.step(pt.time, pt.position, pt.speed, step);
+    }
+  }
+}
+
+void Campaign::fast_forward_cycle() {
+  const double cycle_ms = 2.0 * cfg_.tput_test_duration.value +
+                          cfg_.rtt_test_duration.value +
+                          3.0 * cfg_.gap.value;
+  run_gap(Millis{cycle_ms});
+}
+
+CampaignResult Campaign::run() {
+  if (ran_) return result_;
+  ran_ = true;
+
+  int cycle = 0;
+  int test_id = 0;
+  while (!trip_.finished()) {
+    if (cfg_.cycle_stride > 1 && (cycle % cfg_.cycle_stride) != 0) {
+      fast_forward_cycle();
+    } else {
+      run_bulk_test(TestType::DownlinkBulk, test_id++);
+      run_gap(cfg_.gap);
+      run_bulk_test(TestType::UplinkBulk, test_id++);
+      run_gap(cfg_.gap);
+      run_rtt_test(test_id++);
+      run_gap(cfg_.gap);
+    }
+    ++cycle;
+  }
+
+  for (auto& ph : phones_) {
+    const auto i = static_cast<std::size_t>(ph->op);
+    auto& log = result_.logs[i];
+    log.test_handovers = ph->test_ue.handovers();
+    log.passive_handovers = ph->passive_ue.handovers();
+    // Unique cells across both phones of this operator.
+    std::vector<ran::CellId> cells = ph->test_ue.seen_cells();
+    const auto& pc = ph->passive_ue.seen_cells();
+    cells.insert(cells.end(), pc.begin(), pc.end());
+    std::sort(cells.begin(), cells.end());
+    cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+    log.unique_cells = cells.size();
+    log.experiment_runtime = trip_.total_drive_time();
+  }
+  result_.route_length = route_.length();
+  result_.days = trip_.current().day;
+  result_.drive_time = trip_.total_drive_time();
+  return result_;
+}
+
+StaticBaseline Campaign::run_static_baseline(OperatorId op) {
+  StaticBaseline out;
+  out.op = op;
+  const auto& dep = deployment(op);
+  const auto& profile = ran::operator_profile(op);
+  Rng rng = rng_.fork("static").fork(to_string(op));
+
+  for (const auto& city : route_.cities()) {
+    // Find the best high-speed-5G site near the city center: the nearest
+    // mmWave cell within the urban core, else the nearest mid-band one.
+    const ran::Cell* site = nullptr;
+    for (Tech tech : {Tech::NR_MMWAVE, Tech::NR_MID}) {
+      double best_d = 22'000.0;  // urban-core radius
+      for (const auto& c : dep.cells(tech)) {
+        const double d = std::abs(c.route_pos.value - city.route_pos.value);
+        if (d < best_d) {
+          best_d = d;
+          site = &c;
+        }
+      }
+      if (site) break;  // prefer mmWave; fall back to mid-band
+    }
+    if (!site) continue;  // operator-city combo skipped, like the study
+    ++out.cities_tested;
+
+    const Meters pos = site->route_pos;  // standing right by the site
+    CivilTime noon;
+    noon.day = 1;
+    noon.hour = 12;
+    SimTime t = from_civil(noon, corridor_.at(pos).tz);
+    const auto server = servers_.select(op, pos, corridor_.at(pos).tz);
+
+    ran::UeSimulator ue(corridor_, dep, profile, rng.fork(city.name),
+                        ran::TrafficProfile::BackloggedDl);
+    ue.set_favourable_conditions(true);
+    net::CubicFlow flow(rng.fork(city.name).fork("tcp"));
+
+    auto run_bulk = [&](Direction dir, std::vector<double>& sink) {
+      ue.set_traffic(dir == Direction::Downlink
+                         ? ran::TrafficProfile::BackloggedDl
+                         : ran::TrafficProfile::BackloggedUl);
+      flow.restart();
+      double window_bytes = 0.0;
+      Millis win{0.0};
+      for (Millis el{0.0}; el.value < cfg_.tput_test_duration.value;
+           el += cfg_.slot) {
+        const auto link = ue.step(t, pos, Mph{0.0}, cfg_.slot);
+        t += cfg_.slot;
+        const Millis base_rtt =
+            link.air_latency * 2.0 + server.one_way_delay * 2.0;
+        window_bytes +=
+            flow.step(cfg_.slot, link.phy_rate(dir), base_rtt);
+        win += cfg_.slot;
+        if (win.value >= cfg_.sample_window.value) {
+          sink.push_back(window_bytes * 8.0 / win.value / 1e3);
+          window_bytes = 0.0;
+          win = Millis{0.0};
+        }
+      }
+    };
+    run_bulk(Direction::Downlink, out.dl_tput_mbps);
+    run_bulk(Direction::Uplink, out.ul_tput_mbps);
+
+    // RTT test (light ICMP traffic).
+    ue.set_traffic(ran::TrafficProfile::Idle);
+    Millis since_ping{1e9};
+    for (Millis el{0.0}; el.value < cfg_.rtt_test_duration.value;
+         el += cfg_.slot) {
+      const auto link = ue.step(t, pos, Mph{0.0}, cfg_.slot);
+      t += cfg_.slot;
+      since_ping += cfg_.slot;
+      if (since_ping.value >= cfg_.ping_interval.value) {
+        since_ping = Millis{0.0};
+        if (const auto rtt =
+                net::ping_rtt(link, server.one_way_delay, rng)) {
+          out.rtt_ms.push_back(rtt->value);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wheels::trip

@@ -1,0 +1,101 @@
+// The measurement campaign: drives the route once, running the study's
+// round-robin network test suite (30 s downlink bulk, 30 s uplink bulk,
+// 20 s ICMP RTT) simultaneously on three phones (one per operator), while
+// three passive "handover-logger" phones record technology and handovers
+// continuously. Also provides the per-city static baselines of Fig. 3a.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "net/server.h"
+#include "net/tcp_cubic.h"
+#include "ran/corridor.h"
+#include "ran/deployment.h"
+#include "ran/ue.h"
+#include "trip/records.h"
+#include "trip/region.h"
+#include "trip/route.h"
+#include "trip/trip_simulator.h"
+
+namespace wheels::trip {
+
+struct CampaignConfig {
+  std::uint64_t seed = 42;
+  Millis slot{20.0};  // PHY/TCP simulation slot during active tests
+  Millis tput_test_duration{30'000.0};
+  Millis rtt_test_duration{20'000.0};
+  Millis gap{3'000.0};
+  Millis ping_interval{200.0};
+  Millis sample_window{500.0};  // XCAL throughput logging period
+  // Run every k-th test cycle and fast-forward the rest: k=1 reproduces
+  // the full campaign; k=4 gives a 4x faster run with 1/4 of the samples
+  // but the same geographic spread.
+  int cycle_stride = 1;
+  DriveConfig drive{};
+};
+
+struct CampaignResult {
+  std::array<OperatorLogs, 3> logs;  // indexed by OperatorId value
+  Meters route_length{0.0};
+  int days = 0;
+  Millis drive_time{0.0};
+
+  [[nodiscard]] const OperatorLogs& for_op(ran::OperatorId op) const {
+    return logs[static_cast<std::size_t>(op)];
+  }
+};
+
+// Per-city static baseline (the "best static conditions" of Fig. 3a).
+struct StaticBaseline {
+  ran::OperatorId op = ran::OperatorId::Verizon;
+  std::vector<double> dl_tput_mbps;  // 500 ms samples over all cities
+  std::vector<double> ul_tput_mbps;
+  std::vector<double> rtt_ms;
+  int cities_tested = 0;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig cfg = CampaignConfig{});
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  // Run the full driving campaign (idempotent: one run per instance).
+  CampaignResult run();
+
+  // Static measurements near the best high-speed-5G site of each major
+  // city (skipping operator-city pairs without mmWave/mid-band, like the
+  // study did).
+  StaticBaseline run_static_baseline(ran::OperatorId op);
+
+  [[nodiscard]] const Route& route() const { return route_; }
+  [[nodiscard]] const ran::Corridor& corridor() const { return corridor_; }
+  [[nodiscard]] const ran::Deployment& deployment(ran::OperatorId op) const;
+
+ private:
+  struct PhoneSet;  // per-operator UEs + TCP flow + bookkeeping
+
+  void run_bulk_test(TestType type, int test_id);
+  void run_rtt_test(int test_id);
+  void run_gap(Millis duration);
+  void fast_forward_cycle();
+  void step_passive(Millis dt);
+
+  CampaignConfig cfg_;
+  Rng rng_;
+  Route route_;
+  ran::Corridor corridor_;
+  std::array<std::unique_ptr<ran::Deployment>, 3> deployments_;
+  net::ServerSelector servers_;
+  TripSimulator trip_;
+  std::vector<std::unique_ptr<PhoneSet>> phones_;
+  CampaignResult result_;
+  bool ran_ = false;
+};
+
+}  // namespace wheels::trip

@@ -1,0 +1,119 @@
+// Log record schemas produced by the measurement campaign.
+//
+// These mirror the study's data sources:
+//  - KpiSample: one 500 ms XCAL snapshot during an active test, joined with
+//    the application-layer throughput for that interval.
+//  - RttSample: one ICMP echo of an RTT test.
+//  - PassiveSample: one record of the "handover-logger" phones (light ICMP
+//    keep-alive, Android-API-level technology/cell logging).
+//  - TestSummary: per-test aggregate (30 s throughput test / 20 s RTT
+//    test), the granularity of Figs. 9-10 and the Ookla comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sim_time.h"
+#include "core/units.h"
+#include "net/server.h"
+#include "radio/pathloss.h"
+#include "radio/phy_rate.h"
+#include "radio/technology.h"
+#include "ran/operator_profile.h"
+#include "ran/ue.h"
+
+namespace wheels::trip {
+
+enum class TestType : std::uint8_t { DownlinkBulk, UplinkBulk, Ping };
+
+[[nodiscard]] constexpr std::string_view to_string(TestType t) {
+  switch (t) {
+    case TestType::DownlinkBulk: return "DL";
+    case TestType::UplinkBulk: return "UL";
+    case TestType::Ping: return "RTT";
+  }
+  return "?";
+}
+
+struct KpiSample {
+  SimTime time;
+  int test_id = 0;
+  TestType test = TestType::DownlinkBulk;
+  ran::OperatorId op = ran::OperatorId::Verizon;
+  // Mobility context.
+  Meters position{0.0};
+  Mph speed{0.0};
+  TimeZone tz = TimeZone::Pacific;
+  radio::Environment env = radio::Environment::Rural;
+  // Radio KPIs (averages over the 500 ms window).
+  bool connected = false;
+  radio::Tech tech = radio::Tech::LTE;
+  double rsrp_dbm = -140.0;
+  double mcs = 0.0;
+  double bler = 0.0;
+  double num_cc = 1.0;
+  // Application layer.
+  double tput_mbps = 0.0;
+  int handovers = 0;  // HOs that started within this window
+  net::ServerKind server = net::ServerKind::Cloud;
+};
+
+struct RttSample {
+  SimTime time;
+  int test_id = 0;
+  ran::OperatorId op = ran::OperatorId::Verizon;
+  Meters position{0.0};
+  Mph speed{0.0};
+  TimeZone tz = TimeZone::Pacific;
+  bool success = false;
+  double rtt_ms = 0.0;
+  bool connected = false;
+  radio::Tech tech = radio::Tech::LTE;
+  net::ServerKind server = net::ServerKind::Cloud;
+};
+
+struct PassiveSample {
+  SimTime time;
+  ran::OperatorId op = ran::OperatorId::Verizon;
+  Meters position{0.0};
+  Mph speed{0.0};
+  TimeZone tz = TimeZone::Pacific;
+  bool connected = false;
+  radio::Tech tech = radio::Tech::LTE;
+  ran::CellId cell = 0;
+};
+
+struct TestSummary {
+  int test_id = 0;
+  TestType test = TestType::DownlinkBulk;
+  ran::OperatorId op = ran::OperatorId::Verizon;
+  SimTime start;
+  Millis duration{0.0};
+  Meters start_position{0.0};
+  Meters distance{0.0};
+  TimeZone tz = TimeZone::Pacific;
+  net::ServerKind server = net::ServerKind::Cloud;
+  // Throughput tests: mean/stddev of the 500 ms samples; RTT tests: of the
+  // echo RTTs.
+  double mean = 0.0;
+  double stddev = 0.0;
+  int samples = 0;
+  int handovers = 0;
+  double frac_high_speed_5g = 0.0;  // time fraction on mmWave/mid-band
+  double bytes_transferred = 0.0;
+};
+
+// Everything one operator's phones produced over the campaign.
+struct OperatorLogs {
+  ran::OperatorId op = ran::OperatorId::Verizon;
+  std::vector<KpiSample> kpi;
+  std::vector<RttSample> rtt;
+  std::vector<TestSummary> tests;
+  std::vector<ran::HandoverRecord> test_handovers;
+  std::vector<PassiveSample> passive;
+  std::vector<ran::HandoverRecord> passive_handovers;
+  std::size_t unique_cells = 0;
+  Millis experiment_runtime{0.0};
+};
+
+}  // namespace wheels::trip

@@ -1,0 +1,61 @@
+#include "trip/region.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace wheels::trip {
+
+ran::Corridor build_corridor(const Route& route, Rng rng,
+                             const RegionConfig& cfg) {
+  using radio::Environment;
+
+  // Sprinkle small-town centers along the route.
+  std::vector<double> towns;
+  Rng town_rng = rng.fork("towns");
+  double t = town_rng.exponential(cfg.town_spacing.value);
+  while (t < route.length().value) {
+    towns.push_back(t);
+    t += cfg.town_spacing.value * town_rng.uniform(0.5, 1.5);
+  }
+
+  auto env_at = [&](double pos) {
+    const Meters d_city = route.distance_to_nearest_city(Meters{pos});
+    if (d_city.value <= cfg.urban_radius.value) return Environment::Urban;
+    if (d_city.value <= cfg.suburban_radius.value) {
+      return Environment::Suburban;
+    }
+    for (double town : towns) {
+      if (std::abs(town - pos) <= cfg.town_radius.value) {
+        return Environment::Suburban;
+      }
+    }
+    return Environment::Rural;
+  };
+
+  std::vector<ran::CorridorSegment> segments;
+  const double step = cfg.granularity.value;
+  double seg_start = 0.0;
+  Environment seg_env = env_at(step / 2.0);
+  TimeZone seg_tz = route.timezone_at(Meters{step / 2.0});
+  for (double pos = step; pos < route.length().value + step; pos += step) {
+    const double mid = std::min(pos + step / 2.0, route.length().value);
+    const Environment env = env_at(mid);
+    const TimeZone tz = route.timezone_at(Meters{mid});
+    const double seg_end = std::min(pos, route.length().value);
+    if (env != seg_env || tz != seg_tz || seg_end >= route.length().value) {
+      segments.push_back({Meters{seg_start}, Meters{seg_end}, seg_env,
+                          seg_tz});
+      seg_start = seg_end;
+      seg_env = env;
+      seg_tz = tz;
+    }
+    if (seg_end >= route.length().value) break;
+  }
+  if (segments.empty() ||
+      segments.back().end.value < route.length().value) {
+    segments.push_back({Meters{seg_start}, route.length(), seg_env, seg_tz});
+  }
+  return ran::Corridor(std::move(segments));
+}
+
+}  // namespace wheels::trip

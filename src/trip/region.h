@@ -1,0 +1,24 @@
+// Builds the RAN corridor (environment + timezone segments) from the
+// geographic route: urban cores around the major cities, suburban rings,
+// additional small towns sprinkled along the highways, rural elsewhere.
+#pragma once
+
+#include "core/rng.h"
+#include "ran/corridor.h"
+#include "trip/route.h"
+
+namespace wheels::trip {
+
+struct RegionConfig {
+  Meters urban_radius = Meters::from_kilometers(22.0);
+  Meters suburban_radius = Meters::from_kilometers(55.0);
+  // Small towns along the highway: mean spacing and suburban footprint.
+  Meters town_spacing = Meters::from_kilometers(90.0);
+  Meters town_radius = Meters::from_kilometers(6.0);
+  Meters granularity = Meters::from_kilometers(2.0);
+};
+
+[[nodiscard]] ran::Corridor build_corridor(const Route& route, Rng rng,
+                                           const RegionConfig& cfg = RegionConfig{});
+
+}  // namespace wheels::trip

@@ -1,0 +1,74 @@
+#include "trip/route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wheels::trip {
+namespace {
+
+// Ratio of driven distance to great-circle distance, chosen so the route
+// totals ~5,711 km like the study's odometer.
+constexpr double kRoadFactor = 1.218;
+
+}  // namespace
+
+Route::Route(std::vector<City> cities, double road_factor)
+    : cities_(std::move(cities)), road_factor_(road_factor) {
+  if (cities_.size() < 2) {
+    throw std::invalid_argument("Route: need at least two cities");
+  }
+  double pos = 0.0;
+  cities_.front().route_pos = Meters{0.0};
+  for (std::size_t i = 1; i < cities_.size(); ++i) {
+    const Meters leg = haversine_distance(cities_[i - 1].location,
+                                          cities_[i].location);
+    pos += leg.value * road_factor_;
+    cities_[i].route_pos = Meters{pos};
+  }
+  length_ = Meters{pos};
+}
+
+Route Route::cross_country() {
+  std::vector<City> cities = {
+      {"Los Angeles", {34.05, -118.24}, Meters{0.0}, true},
+      {"Las Vegas", {36.17, -115.14}, Meters{0.0}, true},
+      {"Salt Lake City", {40.76, -111.89}, Meters{0.0}, false},
+      {"Denver", {39.74, -104.99}, Meters{0.0}, true},
+      {"Omaha", {41.26, -95.93}, Meters{0.0}, false},
+      {"Chicago", {41.88, -87.63}, Meters{0.0}, true},
+      {"Indianapolis", {39.77, -86.16}, Meters{0.0}, false},
+      {"Cleveland", {41.50, -81.69}, Meters{0.0}, false},
+      {"Rochester", {43.16, -77.61}, Meters{0.0}, false},
+      {"Boston", {42.36, -71.06}, Meters{0.0}, true},
+  };
+  return Route(std::move(cities), kRoadFactor);
+}
+
+LatLon Route::position_at(Meters pos) const {
+  const double p =
+      std::clamp(pos.value, 0.0, length_.value);
+  for (std::size_t i = 1; i < cities_.size(); ++i) {
+    if (p <= cities_[i].route_pos.value) {
+      const double a = cities_[i - 1].route_pos.value;
+      const double b = cities_[i].route_pos.value;
+      const double t = b > a ? (p - a) / (b - a) : 0.0;
+      return interpolate(cities_[i - 1].location, cities_[i].location, t);
+    }
+  }
+  return cities_.back().location;
+}
+
+TimeZone Route::timezone_at(Meters pos) const {
+  return timezone_from_longitude(position_at(pos).lon);
+}
+
+Meters Route::distance_to_nearest_city(Meters pos) const {
+  double best = std::abs(cities_.front().route_pos.value - pos.value);
+  for (const auto& c : cities_) {
+    best = std::min(best, std::abs(c.route_pos.value - pos.value));
+  }
+  return Meters{best};
+}
+
+}  // namespace wheels::trip

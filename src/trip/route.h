@@ -1,0 +1,48 @@
+// The LA -> Boston drive route.
+//
+// Waypoints are the major cities the study lists (Los Angeles, Las Vegas,
+// Salt Lake City, Denver, Omaha, Chicago, Indianapolis, Cleveland,
+// Rochester, Boston). Great-circle leg lengths are inflated by a road
+// factor so the total driven distance matches the reported 5,711+ km.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/geo.h"
+#include "core/sim_time.h"
+#include "core/units.h"
+
+namespace wheels::trip {
+
+struct City {
+  std::string name;
+  LatLon location;
+  Meters route_pos{0.0};  // driven distance from the start
+  bool has_edge_server = false;  // AWS Wavelength site (Verizon)
+};
+
+class Route {
+ public:
+  // The study's cross-continental route.
+  static Route cross_country();
+
+  [[nodiscard]] Meters length() const { return length_; }
+  [[nodiscard]] const std::vector<City>& cities() const { return cities_; }
+
+  // Geographic position at a driven distance (linear on each leg).
+  [[nodiscard]] LatLon position_at(Meters pos) const;
+  [[nodiscard]] TimeZone timezone_at(Meters pos) const;
+
+  // Distance (along the route) to the nearest city center.
+  [[nodiscard]] Meters distance_to_nearest_city(Meters pos) const;
+
+ private:
+  Route(std::vector<City> cities, double road_factor);
+
+  std::vector<City> cities_;
+  Meters length_{0.0};
+  double road_factor_ = 1.0;
+};
+
+}  // namespace wheels::trip

@@ -1,0 +1,55 @@
+#include "trip/speed_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wheels::trip {
+
+using radio::Environment;
+
+SpeedProfile::SpeedProfile(Rng rng) : rng_(rng) {}
+
+double SpeedProfile::target_mph(Environment env) {
+  switch (env) {
+    case Environment::Urban: return 14.0;
+    case Environment::Suburban: return 38.0;
+    case Environment::Rural: return 70.0;
+  }
+  return 60.0;
+}
+
+Mph SpeedProfile::step(Environment env, Millis dt) {
+  const double dt_s = dt.seconds();
+
+  // Stoplight stops in the city.
+  if (stop_remaining_.value > 0.0) {
+    stop_remaining_ -= dt;
+    speed_mph_ = std::max(0.0, speed_mph_ - 12.0 * dt_s);  // braking
+    return Mph{speed_mph_};
+  }
+  if (env == Environment::Urban && rng_.chance(0.01 * dt_s)) {
+    stop_remaining_ = Millis{rng_.uniform(10'000.0, 45'000.0)};
+  }
+
+  // Congestion / construction slow-downs.
+  if (slowdown_remaining_.value > 0.0) {
+    slowdown_remaining_ -= dt;
+  } else if (rng_.chance(0.0015 * dt_s)) {
+    slowdown_remaining_ = Millis{rng_.uniform(60'000.0, 300'000.0)};
+    slowdown_factor_ = rng_.uniform(0.3, 0.7);
+  } else {
+    slowdown_factor_ = 1.0;
+  }
+
+  const double target = target_mph(env) *
+                        (slowdown_remaining_.value > 0.0 ? slowdown_factor_
+                                                         : 1.0);
+  // OU relaxation toward the target (tau ~ 15 s) with noise.
+  const double theta = std::min(1.0, dt_s / 15.0);
+  speed_mph_ += theta * (target - speed_mph_) +
+                2.0 * std::sqrt(std::min(1.0, dt_s)) * rng_.normal();
+  speed_mph_ = std::clamp(speed_mph_, 0.0, 82.0);
+  return Mph{speed_mph_};
+}
+
+}  // namespace wheels::trip

@@ -1,0 +1,36 @@
+// Vehicle speed model.
+//
+// Speed follows an Ornstein-Uhlenbeck process around an environment target
+// (city traffic ~12 mph with stoplight stops, suburban ~38 mph, interstate
+// ~70 mph) plus occasional slow-downs (congestion/construction). The three
+// bins of the paper's analysis (0-20 / 20-60 / 60+ mph) map onto the three
+// environments, which is exactly the proxy relationship §4.2 describes.
+#pragma once
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "radio/pathloss.h"
+
+namespace wheels::trip {
+
+class SpeedProfile {
+ public:
+  explicit SpeedProfile(Rng rng);
+
+  // Advance by dt within the given environment; returns the new speed.
+  Mph step(radio::Environment env, Millis dt);
+
+  [[nodiscard]] Mph current() const { return Mph{speed_mph_}; }
+
+ private:
+  [[nodiscard]] static double target_mph(radio::Environment env);
+
+  Rng rng_;
+  double speed_mph_ = 0.0;
+  // Stop-and-go state (urban) and slow-down state (congestion anywhere).
+  Millis stop_remaining_{0.0};
+  Millis slowdown_remaining_{0.0};
+  double slowdown_factor_ = 1.0;
+};
+
+}  // namespace wheels::trip

@@ -1,0 +1,51 @@
+#include "trip/trip_simulator.h"
+
+#include <algorithm>
+
+namespace wheels::trip {
+
+TripSimulator::TripSimulator(const Route& route,
+                             const ran::Corridor& corridor, Rng rng,
+                             DriveConfig cfg)
+    : route_(route), corridor_(corridor), speed_(rng.fork("speed")),
+      cfg_(cfg) {
+  point_.day = 1;
+  point_.position = Meters{0.0};
+  start_day();
+}
+
+void TripSimulator::start_day() {
+  // 08:00 local at the current position.
+  const TimeZone tz = route_.timezone_at(point_.position);
+  CivilTime ct;
+  ct.day = point_.day;
+  ct.hour = cfg_.start_hour_local;
+  point_.time = from_civil(ct, tz);
+  driven_today_ = Millis{0.0};
+}
+
+bool TripSimulator::finished() const {
+  return point_.position.value >= route_.length().value;
+}
+
+TripPoint TripSimulator::advance(Millis dt) {
+  if (finished()) return point_;
+
+  if (driven_today_.value >= Millis::from_hours(cfg_.hours_per_day).value) {
+    ++point_.day;
+    start_day();
+  }
+
+  const auto env = corridor_.at(point_.position).env;
+  const Mph v = speed_.step(env, dt);
+  point_.position += v * dt;
+  point_.position =
+      Meters{std::min(point_.position.value, route_.length().value)};
+  point_.speed = v;
+  point_.time += dt;
+  driven_today_ += dt;
+  drive_time_ += dt;
+  return point_;
+}
+
+}  // namespace wheels::trip

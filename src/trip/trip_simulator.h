@@ -1,0 +1,54 @@
+// Advances the vehicle along the route over the multi-day campaign.
+//
+// Each campaign day starts at 08:00 local time and covers a driving budget
+// of ~9 hours; overnight the clock jumps to the next morning while the
+// position holds. The simulator owns the speed process and reports
+// (time, position, speed) points to whoever steps it (the campaign runner).
+#pragma once
+
+#include "core/rng.h"
+#include "core/sim_time.h"
+#include "core/units.h"
+#include "ran/corridor.h"
+#include "trip/route.h"
+#include "trip/speed_profile.h"
+
+namespace wheels::trip {
+
+struct TripPoint {
+  SimTime time;
+  Meters position{0.0};
+  Mph speed{0.0};
+  int day = 1;
+};
+
+struct DriveConfig {
+  double hours_per_day = 11.0;
+  int start_hour_local = 8;
+};
+
+class TripSimulator {
+ public:
+  TripSimulator(const Route& route, const ran::Corridor& corridor, Rng rng,
+                DriveConfig cfg = DriveConfig{});
+
+  // Advance by dt of driving time (handles the overnight jump internally).
+  TripPoint advance(Millis dt);
+
+  [[nodiscard]] const TripPoint& current() const { return point_; }
+  [[nodiscard]] bool finished() const;
+  [[nodiscard]] Millis total_drive_time() const { return drive_time_; }
+
+ private:
+  void start_day();
+
+  const Route& route_;
+  const ran::Corridor& corridor_;
+  SpeedProfile speed_;
+  DriveConfig cfg_;
+  TripPoint point_;
+  Millis driven_today_{0.0};
+  Millis drive_time_{0.0};
+};
+
+}  // namespace wheels::trip

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+
+namespace wheels::analysis {
+namespace {
+
+using radio::Tech;
+using trip::KpiSample;
+using trip::PassiveSample;
+using trip::TestType;
+
+PassiveSample passive(Tech t, double mph, bool connected = true,
+                      double pos_m = 0.0) {
+  PassiveSample s;
+  s.tech = t;
+  s.connected = connected;
+  s.speed = Mph{mph};
+  s.position = Meters{pos_m};
+  return s;
+}
+
+KpiSample kpi(Tech t, TestType test, double mph, int tz = 0,
+              bool connected = true, double pos_m = 0.0) {
+  KpiSample s;
+  s.tech = t;
+  s.test = test;
+  s.speed = Mph{mph};
+  s.tz = static_cast<TimeZone>(tz);
+  s.connected = connected;
+  s.position = Meters{pos_m};
+  return s;
+}
+
+TEST(Coverage, PassiveSharesAreDistanceWeighted) {
+  // Equal time on LTE at 60 mph and mmWave at 20 mph: LTE covers 3x the
+  // distance, so its share must be 75%.
+  std::vector<PassiveSample> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(passive(Tech::LTE, 60.0));
+    v.push_back(passive(Tech::NR_MMWAVE, 20.0));
+  }
+  const auto ts = coverage_from_passive(v);
+  EXPECT_NEAR(ts.tech(Tech::LTE), 0.75, 1e-9);
+  EXPECT_NEAR(ts.tech(Tech::NR_MMWAVE), 0.25, 1e-9);
+  EXPECT_NEAR(ts.total_5g(), 0.25, 1e-9);
+  EXPECT_NEAR(ts.high_speed_5g(), 0.25, 1e-9);
+}
+
+TEST(Coverage, DisconnectedCountsAsNoService) {
+  std::vector<PassiveSample> v = {passive(Tech::LTE, 50.0),
+                                  passive(Tech::LTE, 50.0, false)};
+  const auto ts = coverage_from_passive(v);
+  EXPECT_NEAR(ts.no_service(), 0.5, 1e-9);
+}
+
+TEST(Coverage, KpiDirectionFilter) {
+  std::vector<KpiSample> v = {
+      kpi(Tech::NR_MID, TestType::DownlinkBulk, 50.0),
+      kpi(Tech::LTE, TestType::UplinkBulk, 50.0),
+  };
+  KpiFilter dl;
+  dl.only_downlink = true;
+  EXPECT_NEAR(coverage_from_kpi(v, dl).tech(Tech::NR_MID), 1.0, 1e-9);
+  KpiFilter ul;
+  ul.only_uplink = true;
+  EXPECT_NEAR(coverage_from_kpi(v, ul).tech(Tech::LTE), 1.0, 1e-9);
+}
+
+TEST(Coverage, KpiTimezoneAndSpeedFilters) {
+  std::vector<KpiSample> v = {
+      kpi(Tech::NR_LOW, TestType::DownlinkBulk, 10.0, 0),
+      kpi(Tech::LTE_A, TestType::DownlinkBulk, 70.0, 2),
+  };
+  KpiFilter tz;
+  tz.tz = 2;
+  EXPECT_NEAR(coverage_from_kpi(v, tz).tech(Tech::LTE_A), 1.0, 1e-9);
+  KpiFilter slow;
+  slow.max_mph = 20.0;
+  EXPECT_NEAR(coverage_from_kpi(v, slow).tech(Tech::NR_LOW), 1.0, 1e-9);
+  KpiFilter fast;
+  fast.min_mph = 60.0;
+  EXPECT_NEAR(coverage_from_kpi(v, fast).tech(Tech::LTE_A), 1.0, 1e-9);
+}
+
+TEST(Coverage, EmptyInputIsZero) {
+  const auto ts = coverage_from_kpi({}, {});
+  EXPECT_DOUBLE_EQ(ts.total_miles, 0.0);
+  EXPECT_DOUBLE_EQ(ts.total_5g(), 0.0);
+}
+
+TEST(RouteMap, DominantTechPerBin) {
+  std::vector<PassiveSample> v;
+  // Bin 0 (0-10 km): mostly LTE; bin 1 (10-20 km): mostly mmWave.
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(passive(Tech::LTE, 50.0, true, 5'000.0));
+  }
+  v.push_back(passive(Tech::NR_MID, 50.0, true, 5'000.0));
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(passive(Tech::NR_MMWAVE, 50.0, true, 15'000.0));
+  }
+  const auto bins = route_coverage_map_passive(v, 10.0, 30.0);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_TRUE(bins[0].any_samples);
+  EXPECT_EQ(bins[0].dominant, Tech::LTE);
+  EXPECT_EQ(bins[1].dominant, Tech::NR_MMWAVE);
+  EXPECT_FALSE(bins[2].any_samples);
+}
+
+TEST(RouteMap, DisagreementFraction) {
+  // Passive sees LTE everywhere; active sees 5G in one of two bins.
+  std::vector<PassiveSample> p = {passive(Tech::LTE, 50.0, true, 5'000.0),
+                                  passive(Tech::LTE, 50.0, true, 15'000.0)};
+  std::vector<KpiSample> a = {
+      kpi(Tech::NR_MID, TestType::DownlinkBulk, 50.0, 0, true, 5'000.0),
+      kpi(Tech::LTE, TestType::DownlinkBulk, 50.0, 0, true, 15'000.0)};
+  const auto pm = route_coverage_map_passive(p, 10.0, 20.0);
+  const auto am = route_coverage_map_active(a, 10.0, 20.0);
+  EXPECT_NEAR(coverage_disagreement(pm, am), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace wheels::analysis

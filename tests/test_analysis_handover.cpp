@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "analysis/handover_analysis.h"
+#include "analysis/longterm.h"
+
+namespace wheels::analysis {
+namespace {
+
+using trip::TestSummary;
+using trip::TestType;
+
+TestSummary make_test(TestType type, double start_ms, double dur_ms,
+                      double dist_miles, int handovers, double mean = 20.0,
+                      double stddev = 5.0, double hs5g = 0.0) {
+  TestSummary t;
+  t.test = type;
+  t.start = SimTime{start_ms};
+  t.duration = Millis{dur_ms};
+  t.distance = Meters::from_miles(dist_miles);
+  t.handovers = handovers;
+  t.mean = mean;
+  t.stddev = stddev;
+  t.samples = 60;
+  t.frac_high_speed_5g = hs5g;
+  return t;
+}
+
+ran::HandoverRecord ho(double t_ms, double dur,
+                       radio::Tech from = radio::Tech::LTE,
+                       radio::Tech to = radio::Tech::LTE) {
+  ran::HandoverRecord h;
+  h.time = SimTime{t_ms};
+  h.duration = Millis{dur};
+  h.from_tech = from;
+  h.to_tech = to;
+  return h;
+}
+
+TEST(HandoverStats, PerMileNormalization) {
+  std::vector<TestSummary> tests = {
+      make_test(TestType::DownlinkBulk, 0.0, 30'000.0, 0.5, 2),
+      make_test(TestType::DownlinkBulk, 60'000.0, 30'000.0, 1.0, 3),
+      make_test(TestType::UplinkBulk, 120'000.0, 30'000.0, 0.5, 8),
+  };
+  const auto dl = handovers_per_mile(tests, TestType::DownlinkBulk);
+  ASSERT_EQ(dl.size(), 2u);
+  EXPECT_DOUBLE_EQ(dl[0], 4.0);
+  EXPECT_DOUBLE_EQ(dl[1], 3.0);
+  const auto ul = handovers_per_mile(tests, TestType::UplinkBulk);
+  ASSERT_EQ(ul.size(), 1u);
+  EXPECT_DOUBLE_EQ(ul[0], 16.0);
+}
+
+TEST(HandoverStats, StationaryTestsExcluded) {
+  std::vector<TestSummary> tests = {
+      make_test(TestType::DownlinkBulk, 0.0, 30'000.0, 0.01, 1)};
+  EXPECT_TRUE(handovers_per_mile(tests, TestType::DownlinkBulk).empty());
+}
+
+TEST(HandoverStats, DurationsOnlyFromMatchingTests) {
+  std::vector<TestSummary> tests = {
+      make_test(TestType::DownlinkBulk, 0.0, 30'000.0, 0.5, 1),
+      make_test(TestType::UplinkBulk, 40'000.0, 30'000.0, 0.5, 1),
+  };
+  std::vector<ran::HandoverRecord> hos = {
+      ho(10'000.0, 55.0),   // inside DL test
+      ho(35'000.0, 66.0),   // in the gap: counted nowhere
+      ho(50'000.0, 77.0),   // inside UL test
+  };
+  const auto dl = handover_durations(tests, hos, TestType::DownlinkBulk);
+  ASSERT_EQ(dl.size(), 1u);
+  EXPECT_DOUBLE_EQ(dl[0], 55.0);
+  const auto ul = handover_durations(tests, hos, TestType::UplinkBulk);
+  ASSERT_EQ(ul.size(), 1u);
+  EXPECT_DOUBLE_EQ(ul[0], 77.0);
+}
+
+// Build a KPI series for one test with an HO in the middle window.
+std::vector<trip::KpiSample> series_with_ho(
+    const std::vector<double>& tputs, int ho_window, int test_id = 1) {
+  std::vector<trip::KpiSample> v;
+  for (std::size_t i = 0; i < tputs.size(); ++i) {
+    trip::KpiSample s;
+    s.test = TestType::DownlinkBulk;
+    s.test_id = test_id;
+    s.time = SimTime{(static_cast<double>(i) + 1.0) * 500.0};
+    s.tput_mbps = tputs[i];
+    s.handovers = static_cast<int>(i) == ho_window ? 1 : 0;
+    s.connected = true;
+    v.push_back(s);
+  }
+  return v;
+}
+
+TEST(HandoverImpact, DeltaMath) {
+  // T1..T5 = 10, 12, 4, 14, 16 with the HO in T3.
+  const auto samples = series_with_ho({10.0, 12.0, 4.0, 14.0, 16.0}, 2);
+  std::vector<ran::HandoverRecord> hos = {
+      ho(1'100.0, 60.0, radio::Tech::NR_MID, radio::Tech::LTE_A)};
+  const auto impacts =
+      handover_impacts(samples, hos, TestType::DownlinkBulk);
+  ASSERT_EQ(impacts.size(), 1u);
+  EXPECT_DOUBLE_EQ(impacts[0].delta_t1, 4.0 - (12.0 + 14.0) / 2.0);
+  EXPECT_DOUBLE_EQ(impacts[0].delta_t2,
+                   (14.0 + 16.0) / 2.0 - (10.0 + 12.0) / 2.0);
+  EXPECT_EQ(impacts[0].kind, radio::HandoverKind::FiveToFour);
+}
+
+TEST(HandoverImpact, RequiresCleanNeighbourhood) {
+  // HOs in adjacent windows: no clean quintuple, no impact samples.
+  auto samples = series_with_ho({10, 12, 4, 14, 16}, 2);
+  samples[3].handovers = 1;
+  EXPECT_TRUE(
+      handover_impacts(samples, {}, TestType::DownlinkBulk).empty());
+}
+
+TEST(HandoverImpact, DoesNotCrossTestBoundaries) {
+  auto samples = series_with_ho({10, 12, 4, 14, 16}, 2);
+  samples[4].test_id = 2;  // the quintuple spans two tests
+  EXPECT_TRUE(
+      handover_impacts(samples, {}, TestType::DownlinkBulk).empty());
+}
+
+TEST(HandoverImpact, EdgesOfSeriesSkipped) {
+  // HO in the first window: no two windows before it.
+  const auto samples = series_with_ho({4.0, 12.0, 10.0, 14.0, 16.0}, 0);
+  EXPECT_TRUE(
+      handover_impacts(samples, {}, TestType::DownlinkBulk).empty());
+}
+
+TEST(Longterm, TestMeansAndCv) {
+  std::vector<TestSummary> tests = {
+      make_test(TestType::DownlinkBulk, 0.0, 30'000.0, 0.5, 0, 40.0, 20.0),
+      make_test(TestType::DownlinkBulk, 0.0, 30'000.0, 0.5, 0, 10.0, 1.0),
+  };
+  const auto means = test_means(tests, TestType::DownlinkBulk);
+  EXPECT_EQ(means, (std::vector<double>{40.0, 10.0}));
+  const auto cv = test_cv_percent(tests, TestType::DownlinkBulk);
+  ASSERT_EQ(cv.size(), 2u);
+  EXPECT_DOUBLE_EQ(cv[0], 50.0);
+  EXPECT_DOUBLE_EQ(cv[1], 10.0);
+}
+
+TEST(Longterm, Hs5gBuckets) {
+  std::vector<TestSummary> tests;
+  for (int i = 0; i < 8; ++i) {
+    tests.push_back(make_test(TestType::DownlinkBulk, 0.0, 30'000.0, 0.5,
+                              0, i < 4 ? 10.0 : 100.0, 1.0,
+                              i < 4 ? 0.1 : 0.9));
+  }
+  const auto buckets = by_hs5g_share(tests, TestType::DownlinkBulk, 4);
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].count, 4u);
+  EXPECT_NEAR(buckets[0].median, 10.0, 1e-9);
+  EXPECT_EQ(buckets[3].count, 4u);
+  EXPECT_NEAR(buckets[3].median, 100.0, 1e-9);
+  EXPECT_EQ(buckets[1].count, 0u);
+}
+
+TEST(Longterm, OoklaReferenceTable) {
+  const auto rows = ookla_q3_2022();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_STREQ(rows[0].op, "Verizon");
+  EXPECT_NEAR(rows[1].dl_mbps, 116.14, 1e-9);
+  EXPECT_NEAR(rows[2].rtt_ms, 61.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wheels::analysis

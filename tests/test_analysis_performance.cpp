@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "analysis/correlation.h"
+#include "analysis/operator_diversity.h"
+#include "analysis/performance.h"
+
+namespace wheels::analysis {
+namespace {
+
+using radio::Tech;
+using trip::KpiSample;
+using trip::RttSample;
+using trip::TestType;
+
+KpiSample kpi(double tput, Tech t = Tech::LTE_A,
+              TestType test = TestType::DownlinkBulk, double mph = 50.0,
+              double time_ms = 0.0) {
+  KpiSample s;
+  s.tput_mbps = tput;
+  s.tech = t;
+  s.test = test;
+  s.speed = Mph{mph};
+  s.connected = true;
+  s.time = SimTime{time_ms};
+  return s;
+}
+
+TEST(Perf, TputFilterByTestAndTech) {
+  std::vector<KpiSample> v = {
+      kpi(10.0, Tech::LTE_A, TestType::DownlinkBulk),
+      kpi(20.0, Tech::NR_MID, TestType::DownlinkBulk),
+      kpi(5.0, Tech::NR_MID, TestType::UplinkBulk),
+  };
+  PerfFilter f;
+  f.test = TestType::DownlinkBulk;
+  EXPECT_EQ(tput_samples(v, f).size(), 2u);
+  f.tech = Tech::NR_MID;
+  const auto mid = tput_samples(v, f);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_DOUBLE_EQ(mid[0], 20.0);
+}
+
+TEST(Perf, PingSamplesNeverCountAsTput) {
+  std::vector<KpiSample> v = {kpi(10.0, Tech::LTE, TestType::Ping)};
+  EXPECT_TRUE(tput_samples(v, {}).empty());
+}
+
+TEST(Perf, RttFilterSkipsFailures) {
+  RttSample ok;
+  ok.success = true;
+  ok.rtt_ms = 50.0;
+  ok.connected = true;
+  ok.tech = Tech::LTE;
+  ok.speed = Mph{30.0};
+  RttSample lost = ok;
+  lost.success = false;
+  const std::vector<RttSample> v = {ok, lost};
+  EXPECT_EQ(rtt_samples(v, {}).size(), 1u);
+}
+
+TEST(Perf, SpeedBins) {
+  EXPECT_EQ(speed_bin(Mph{5.0}), 0);
+  EXPECT_EQ(speed_bin(Mph{19.9}), 0);
+  EXPECT_EQ(speed_bin(Mph{20.0}), 1);
+  EXPECT_EQ(speed_bin(Mph{59.9}), 1);
+  EXPECT_EQ(speed_bin(Mph{60.0}), 2);
+  EXPECT_EQ(speed_bin(Mph{80.0}), 2);
+}
+
+TEST(Perf, TputBySpeedAndTech) {
+  std::vector<KpiSample> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(kpi(100.0 + i, Tech::NR_MMWAVE, TestType::DownlinkBulk,
+                    5.0));
+    v.push_back(kpi(20.0 + i, Tech::LTE_A, TestType::DownlinkBulk, 70.0));
+  }
+  const auto stats = tput_by_speed_and_tech(v, TestType::DownlinkBulk);
+  ASSERT_EQ(stats.size(), 2u);
+  for (const auto& st : stats) {
+    if (st.tech == Tech::NR_MMWAVE) {
+      EXPECT_EQ(st.bin, 0);
+      EXPECT_EQ(st.count, 10u);
+      EXPECT_NEAR(st.median, 104.5, 1.0);
+    } else {
+      EXPECT_EQ(st.bin, 2);
+      EXPECT_NEAR(st.max, 29.0, 1e-9);
+    }
+  }
+}
+
+TEST(Correlation, RecoverConstructedRelationships) {
+  Rng rng(1);
+  std::vector<KpiSample> v;
+  for (int i = 0; i < 5'000; ++i) {
+    KpiSample s;
+    s.test = TestType::DownlinkBulk;
+    s.connected = true;
+    s.rsrp_dbm = rng.normal(-90.0, 10.0);
+    s.speed = Mph{rng.uniform(0.0, 80.0)};
+    s.mcs = rng.uniform(0.0, 28.0);
+    s.num_cc = 1.0;
+    s.bler = rng.uniform(0.0, 0.3);
+    s.handovers = 0;
+    // Throughput strongly driven by RSRP, weakly hurt by speed.
+    s.tput_mbps = 2.0 * (s.rsrp_dbm + 120.0) - 0.2 * s.speed.value +
+                  rng.normal(0.0, 10.0);
+    v.push_back(s);
+  }
+  const auto c = correlate(v, TestType::DownlinkBulk);
+  EXPECT_GT(c.rsrp, 0.7);
+  EXPECT_LT(c.speed, 0.0);
+  EXPECT_NEAR(c.ca, 0.0, 0.1);        // constant CA: degenerate -> 0
+  EXPECT_NEAR(c.handovers, 0.0, 0.1); // constant HO -> 0
+  EXPECT_EQ(c.samples, 5'000u);
+}
+
+TEST(Correlation, FiltersOtherDirections) {
+  std::vector<KpiSample> v = {kpi(10.0, Tech::LTE, TestType::UplinkBulk)};
+  const auto c = correlate(v, TestType::DownlinkBulk);
+  EXPECT_EQ(c.samples, 0u);
+}
+
+TEST(Diversity, PairsConcurrentSamples) {
+  std::vector<KpiSample> a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back(kpi(30.0, Tech::NR_MID, TestType::DownlinkBulk, 50.0,
+                    i * 500.0));
+    b.push_back(kpi(10.0, Tech::LTE, TestType::DownlinkBulk, 50.0,
+                    i * 500.0));
+  }
+  const auto pairs = pair_samples(a, b, trip::TestType::DownlinkBulk);
+  ASSERT_EQ(pairs.size(), 10u);
+  for (const auto& p : pairs) {
+    EXPECT_DOUBLE_EQ(p.diff_mbps, 20.0);
+    EXPECT_EQ(p.bin, TechBin::HtLt);
+  }
+}
+
+TEST(Diversity, MisalignedTimesDoNotPair) {
+  std::vector<KpiSample> a = {
+      kpi(30.0, Tech::LTE, TestType::DownlinkBulk, 50.0, 0.0)};
+  std::vector<KpiSample> b = {
+      kpi(10.0, Tech::LTE, TestType::DownlinkBulk, 50.0, 10'000.0)};
+  EXPECT_TRUE(pair_samples(a, b, trip::TestType::DownlinkBulk).empty());
+}
+
+TEST(Diversity, AnalyzeBinsAndWins) {
+  std::vector<PairedSample> pairs;
+  for (int i = 0; i < 6; ++i) {
+    pairs.push_back({+5.0, TechBin::LtLt});
+  }
+  for (int i = 0; i < 4; ++i) {
+    pairs.push_back({-3.0, TechBin::HtHt});
+  }
+  const auto a = analyze_pair(pairs);
+  EXPECT_NEAR(a.bin_fraction[static_cast<int>(TechBin::LtLt)], 0.6, 1e-9);
+  EXPECT_NEAR(a.bin_fraction[static_cast<int>(TechBin::HtHt)], 0.4, 1e-9);
+  EXPECT_NEAR(a.first_wins, 0.6, 1e-9);
+  EXPECT_EQ(a.all_diffs.size(), 10u);
+  EXPECT_EQ(a.diffs_by_bin[static_cast<int>(TechBin::HtHt)].size(), 4u);
+}
+
+TEST(Diversity, EmptyAnalysisSafe) {
+  const auto a = analyze_pair({});
+  EXPECT_DOUBLE_EQ(a.first_wins, 0.0);
+  EXPECT_TRUE(a.all_diffs.empty());
+}
+
+}  // namespace
+}  // namespace wheels::analysis

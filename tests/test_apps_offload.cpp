@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "apps/accuracy.h"
+#include "apps/offload.h"
+
+namespace wheels::apps {
+namespace {
+
+// Synthetic link with fixed rates.
+LinkEnv constant_link(double ul_mbps, double dl_mbps,
+                      double path_ms = 2.0) {
+  LinkEnv env;
+  env.path_one_way = Millis{path_ms};
+  env.step = [ul_mbps, dl_mbps](Millis) {
+    ran::LinkSample s;
+    s.connected = true;
+    s.tech = radio::Tech::NR_MMWAVE;
+    s.phy_rate_ul = Mbps{ul_mbps};
+    s.phy_rate_dl = Mbps{dl_mbps};
+    s.air_latency = Millis{5.0};
+    return s;
+  };
+  return env;
+}
+
+TEST(OffloadConfig, Table4Values) {
+  const auto ar = ar_config(true);
+  EXPECT_DOUBLE_EQ(ar.fps, 30.0);
+  EXPECT_DOUBLE_EQ(ar.frame_raw_kb, 450.0);
+  EXPECT_DOUBLE_EQ(ar.frame_compressed_kb, 50.0);
+  EXPECT_DOUBLE_EQ(ar.compression_time.value, 6.3);
+  EXPECT_DOUBLE_EQ(ar.inference_time.value, 24.9);
+  EXPECT_DOUBLE_EQ(ar.decompression_time.value, 1.0);
+
+  const auto cav = cav_config(true);
+  EXPECT_DOUBLE_EQ(cav.fps, 10.0);
+  EXPECT_DOUBLE_EQ(cav.frame_raw_kb, 2000.0);
+  EXPECT_DOUBLE_EQ(cav.frame_compressed_kb, 38.0);
+  EXPECT_DOUBLE_EQ(cav.inference_time.value, 44.0);
+}
+
+TEST(Offload, FastLinkApproachesPipelineFloor) {
+  auto env = constant_link(300.0, 300.0);
+  const auto r = run_offload(ar_config(true), env, Rng(1));
+  ASSERT_FALSE(r.e2e_ms.empty());
+  // Floor ~ compression 6.3 + upload(50KB @225Mbps ~ 1.8ms) + 2x path +
+  // inference 24.9 + decompression 1 = ~40 ms (+ slot quantization).
+  EXPECT_GT(r.mean_e2e_ms, 30.0);
+  EXPECT_LT(r.mean_e2e_ms, 90.0);
+  // Offloaded FPS bounded by 1/E2E, well above 10.
+  EXPECT_GT(r.offloaded_fps, 10.0);
+  EXPECT_LE(r.offloaded_fps, 30.0);
+}
+
+TEST(Offload, DeadLinkOffloadsNothing) {
+  auto env = constant_link(0.0, 0.0);
+  const auto r = run_offload(ar_config(true), env, Rng(2));
+  EXPECT_TRUE(r.e2e_ms.empty());
+  EXPECT_DOUBLE_EQ(r.offloaded_fps, 0.0);
+}
+
+TEST(Offload, CompressionWinsOnSlowLinks) {
+  auto env1 = constant_link(5.0, 20.0);
+  const auto with = run_offload(ar_config(true), env1, Rng(3));
+  auto env2 = constant_link(5.0, 20.0);
+  const auto without = run_offload(ar_config(false), env2, Rng(3));
+  ASSERT_FALSE(with.e2e_ms.empty());
+  ASSERT_FALSE(without.e2e_ms.empty());
+  // 450 KB over 5 Mbps ~ 960 ms; 50 KB ~ 107 ms: compression is a big win.
+  EXPECT_LT(with.mean_e2e_ms * 3.0, without.mean_e2e_ms);
+  EXPECT_GT(with.offloaded_fps, without.offloaded_fps);
+}
+
+TEST(Offload, CavHeavierThanAr) {
+  auto env1 = constant_link(20.0, 50.0);
+  const auto ar = run_offload(ar_config(false), env1, Rng(4));
+  auto env2 = constant_link(20.0, 50.0);
+  const auto cav = run_offload(cav_config(false), env2, Rng(4));
+  // 2000 KB point clouds vs 450 KB frames.
+  EXPECT_GT(cav.mean_e2e_ms, ar.mean_e2e_ms * 2.0);
+}
+
+TEST(Offload, OffloadedFpsNeverExceedsCameraFps) {
+  auto env = constant_link(1'000.0, 1'000.0);
+  const auto ar = run_offload(ar_config(true), env, Rng(5));
+  EXPECT_LE(ar.offloaded_fps, 30.0 + 0.1);
+  auto env2 = constant_link(1'000.0, 1'000.0);
+  const auto cav = run_offload(cav_config(true), env2, Rng(5));
+  EXPECT_LE(cav.offloaded_fps, 10.0 + 0.1);
+}
+
+TEST(Offload, TracksHighSpeed5gShare) {
+  int calls = 0;
+  LinkEnv env;
+  env.path_one_way = Millis{2.0};
+  env.step = [&calls](Millis) {
+    ran::LinkSample s;
+    s.connected = true;
+    s.tech = (calls++ % 2) ? radio::Tech::NR_MID : radio::Tech::LTE;
+    s.phy_rate_ul = Mbps{20.0};
+    s.phy_rate_dl = Mbps{50.0};
+    return s;
+  };
+  const auto r = run_offload(ar_config(true), env, Rng(6));
+  EXPECT_NEAR(r.frac_high_speed_5g, 0.5, 0.05);
+  EXPECT_NEAR(r.frac_connected, 1.0, 1e-9);
+}
+
+TEST(Accuracy, Table5Anchors) {
+  const Millis ft{1'000.0 / 30.0};
+  EXPECT_NEAR(detection_map(Millis{10.0}, ft, false), 38.45, 1e-9);
+  EXPECT_NEAR(detection_map(Millis{40.0}, ft, false), 37.22, 1e-9);
+  EXPECT_NEAR(detection_map(Millis{40.0}, ft, true), 36.14, 1e-9);
+  EXPECT_NEAR(detection_map(Millis{29.5 * ft.value}, ft, false), 14.05,
+              1e-9);
+}
+
+TEST(Accuracy, DecaysBeyondTableTowardFloor) {
+  const Millis ft{1'000.0 / 30.0};
+  const double at_table_end = detection_map(Millis{29.5 * ft.value}, ft,
+                                            true);
+  const double beyond = detection_map(Millis{60.0 * ft.value}, ft, true);
+  const double far = detection_map(Millis{500.0 * ft.value}, ft, true);
+  EXPECT_LT(beyond, at_table_end);
+  EXPECT_GT(beyond, 10.0);
+  EXPECT_NEAR(far, 10.0, 0.5);
+}
+
+TEST(Accuracy, CompressionCostsAccuracyAtEqualLatency) {
+  const Millis ft{1'000.0 / 30.0};
+  for (double bins = 1.5; bins < 29.0; bins += 3.0) {
+    EXPECT_LE(detection_map(Millis{bins * ft.value}, ft, true),
+              detection_map(Millis{bins * ft.value}, ft, false) + 1e-9);
+  }
+}
+
+TEST(Accuracy, RunMapAveragesFrames) {
+  const Millis ft{1'000.0 / 30.0};
+  const std::vector<double> e2e = {10.0, 10.0};  // bin 0
+  EXPECT_NEAR(run_map(e2e, ft, false), 38.45, 1e-9);
+  EXPECT_DOUBLE_EQ(run_map({}, ft, false), 0.0);
+}
+
+TEST(Accuracy, BestStaticMatchesPaperNumbers) {
+  // Paper: best static AR run achieves ~36.5 mAP at 68 ms E2E (bin 2).
+  const Millis ft{1'000.0 / 30.0};
+  const double map = detection_map(Millis{68.0}, ft, true);
+  EXPECT_NEAR(map, 34.75, 1.5);
+}
+
+}  // namespace
+}  // namespace wheels::apps

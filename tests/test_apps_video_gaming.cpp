@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "apps/gaming.h"
+#include "apps/video.h"
+
+namespace wheels::apps {
+namespace {
+
+LinkEnv constant_link(double dl_mbps) {
+  LinkEnv env;
+  env.path_one_way = Millis{10.0};
+  env.step = [dl_mbps](Millis) {
+    ran::LinkSample s;
+    s.connected = true;
+    s.tech = radio::Tech::NR_MID;
+    s.phy_rate_dl = Mbps{dl_mbps};
+    s.phy_rate_ul = Mbps{dl_mbps / 10.0};
+    s.air_latency = Millis{12.0};
+    return s;
+  };
+  return env;
+}
+
+class BbaLadder : public ::testing::TestWithParam<double> {};
+
+TEST_P(BbaLadder, ChoiceIsOnTheLadderAndMonotone) {
+  VideoConfig cfg;
+  const double buffer = GetParam();
+  const double rate = bba_bitrate(cfg, buffer);
+  // Must be a ladder rung.
+  bool on_ladder = false;
+  for (double r : cfg.bitrates_mbps) {
+    if (r == rate) on_ladder = true;
+  }
+  EXPECT_TRUE(on_ladder) << rate;
+  // Monotone in buffer.
+  EXPECT_LE(bba_bitrate(cfg, buffer - 0.5), rate + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buffers, BbaLadder,
+                         ::testing::Values(0.5, 3.0, 6.5, 9.0, 12.0, 14.0,
+                                           20.0));
+
+TEST(Bba, ReservoirAndCushionEndpoints) {
+  VideoConfig cfg;
+  EXPECT_DOUBLE_EQ(bba_bitrate(cfg, 0.0), cfg.bitrates_mbps.front());
+  EXPECT_DOUBLE_EQ(bba_bitrate(cfg, cfg.reservoir_s),
+                   cfg.bitrates_mbps.front());
+  EXPECT_DOUBLE_EQ(bba_bitrate(cfg, cfg.cushion_s),
+                   cfg.bitrates_mbps.back());
+  EXPECT_DOUBLE_EQ(bba_bitrate(cfg, 99.0), cfg.bitrates_mbps.back());
+}
+
+TEST(Video, FastLinkGetsTopQoE) {
+  auto env = constant_link(2'000.0);
+  VideoConfig cfg;
+  cfg.run_duration = Millis{120'000.0};
+  const auto r = run_video(cfg, env);
+  EXPECT_GT(r.chunks, 40);
+  EXPECT_GT(r.avg_bitrate_mbps, 60.0);
+  EXPECT_GT(r.avg_qoe, 50.0);
+  EXPECT_LT(r.rebuffer_fraction, 0.05);
+}
+
+TEST(Video, StarvedLinkHasNegativeQoE) {
+  auto env = constant_link(1.0);  // below the lowest 5 Mbps rung
+  VideoConfig cfg;
+  cfg.run_duration = Millis{120'000.0};
+  const auto r = run_video(cfg, env);
+  EXPECT_LT(r.avg_qoe, 0.0);
+  EXPECT_GT(r.rebuffer_fraction, 0.3);
+}
+
+TEST(Video, DeadLinkIsAllStall) {
+  auto env = constant_link(0.0);
+  const auto r = run_video(VideoConfig{}, env);
+  EXPECT_EQ(r.chunks, 0);
+  EXPECT_LT(r.avg_qoe, -100.0);
+  EXPECT_NEAR(r.rebuffer_fraction, 1.0, 0.05);
+}
+
+TEST(Video, MidLinkPicksMiddleRungs) {
+  auto env = constant_link(25.0);
+  VideoConfig cfg;
+  cfg.run_duration = Millis{120'000.0};
+  const auto r = run_video(cfg, env);
+  EXPECT_GT(r.avg_bitrate_mbps, 5.0);
+  EXPECT_LT(r.avg_bitrate_mbps, 50.0);
+  EXPECT_GE(r.avg_qoe, -20.0);
+}
+
+TEST(Video, RebufferFractionInRange) {
+  for (double rate : {0.5, 3.0, 8.0, 30.0, 200.0}) {
+    auto env = constant_link(rate);
+    const auto r = run_video(VideoConfig{}, env);
+    EXPECT_GE(r.rebuffer_fraction, 0.0);
+    EXPECT_LE(r.rebuffer_fraction, 1.0);
+  }
+}
+
+TEST(Gaming, FastLinkMaxBitrateFewDrops) {
+  auto env = constant_link(500.0);
+  const auto r = run_gaming(GamingConfig{}, env, Rng(1));
+  EXPECT_GT(r.median_bitrate_mbps, 80.0);
+  EXPECT_LE(r.median_bitrate_mbps, 100.0);
+  EXPECT_LT(r.frame_drop_rate, 0.02);
+  // Latency ~ air + path with empty queue.
+  EXPECT_LT(r.mean_latency_ms, 60.0);
+}
+
+TEST(Gaming, BitrateTracksModestLink) {
+  auto env = constant_link(20.0);
+  const auto r = run_gaming(GamingConfig{}, env, Rng(2));
+  EXPECT_GT(r.median_bitrate_mbps, 5.0);
+  EXPECT_LT(r.median_bitrate_mbps, 20.0);
+}
+
+TEST(Gaming, DeadLinkDropsEverything) {
+  auto env = constant_link(0.0);
+  const auto r = run_gaming(GamingConfig{}, env, Rng(3));
+  EXPECT_GT(r.frame_drop_rate, 0.3);
+}
+
+TEST(Gaming, LatencyHasFloorFromAirAndPath) {
+  auto env = constant_link(500.0);
+  const auto r = run_gaming(GamingConfig{}, env, Rng(4));
+  // air 12 + path 10: nothing below that.
+  EXPECT_GT(r.mean_latency_ms, 20.0);
+}
+
+TEST(Gaming, BitrateRespectsCap) {
+  auto env = constant_link(5'000.0);
+  GamingConfig cfg;
+  cfg.max_bitrate_mbps = 40.0;
+  const auto r = run_gaming(cfg, env, Rng(5));
+  EXPECT_LE(r.median_bitrate_mbps, 40.0 + 1e-9);
+}
+
+TEST(Gaming, IntermittentLinkHurtsLatency) {
+  // A link that blacks out half the time: queue spikes -> high latency.
+  int calls = 0;
+  LinkEnv env;
+  env.path_one_way = Millis{10.0};
+  env.step = [&calls](Millis) {
+    ran::LinkSample s;
+    s.connected = true;
+    s.tech = radio::Tech::LTE_A;
+    const bool on = (calls++ / 200) % 2 == 0;  // 2 s on, 2 s off
+    s.phy_rate_dl = Mbps{on ? 30.0 : 0.0};
+    s.air_latency = Millis{15.0};
+    s.in_handover = !on;
+    return s;
+  };
+  const auto r = run_gaming(GamingConfig{}, env, Rng(6));
+  auto env2 = constant_link(30.0);
+  const auto clean = run_gaming(GamingConfig{}, env2, Rng(6));
+  EXPECT_GT(r.mean_latency_ms, clean.mean_latency_ms);
+  EXPECT_GT(r.frame_drop_rate, clean.frame_drop_rate);
+}
+
+}  // namespace
+}  // namespace wheels::apps

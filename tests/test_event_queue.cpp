@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/event_queue.h"
+
+namespace wheels {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime{30.0}, [&](SimTime) { order.push_back(3); });
+  q.schedule(SimTime{10.0}, [&](SimTime) { order.push_back(1); });
+  q.schedule(SimTime{20.0}, [&](SimTime) { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().ms_since_epoch, 30.0);
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime{5.0}, [&, i](SimTime) { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(SimTime{10.0}, [&](SimTime) { ++fired; });
+  q.schedule(SimTime{50.0}, [&](SimTime) { ++fired; });
+  q.run_until(SimTime{20.0});
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_DOUBLE_EQ(q.now().ms_since_epoch, 20.0);
+  q.run_until(SimTime{100.0});
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore) {
+  EventQueue q;
+  int count = 0;
+  std::function<void(SimTime)> tick = [&](SimTime) {
+    if (++count < 5) q.schedule_after(Millis{10.0}, tick);
+  };
+  q.schedule(SimTime{0.0}, tick);
+  q.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now().ms_since_epoch, 40.0);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  q.schedule(SimTime{100.0}, [](SimTime) {});
+  q.run_all();
+  SimTime fired_at{};
+  q.schedule(SimTime{1.0}, [&](SimTime t) { fired_at = t; });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at.ms_since_epoch, 100.0);  // not back in time
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime fired{};
+  q.schedule(SimTime{100.0}, [&](SimTime) {
+    q.schedule_after(Millis{25.0}, [&](SimTime t) { fired = t; });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired.ms_since_epoch, 125.0);
+}
+
+}  // namespace
+}  // namespace wheels

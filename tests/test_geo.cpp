@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/geo.h"
+
+namespace wheels {
+namespace {
+
+const LatLon kLosAngeles{34.05, -118.24};
+const LatLon kBoston{42.36, -71.06};
+const LatLon kLasVegas{36.17, -115.14};
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  EXPECT_DOUBLE_EQ(haversine_distance(kBoston, kBoston).value, 0.0);
+}
+
+TEST(Geo, HaversineSymmetric) {
+  EXPECT_NEAR(haversine_distance(kLosAngeles, kBoston).value,
+              haversine_distance(kBoston, kLosAngeles).value, 1e-6);
+}
+
+TEST(Geo, LaToBostonGreatCircle) {
+  // Known great-circle distance ~4,170 km.
+  const Meters d = haversine_distance(kLosAngeles, kBoston);
+  EXPECT_NEAR(d.kilometers(), 4170.0, 60.0);
+}
+
+TEST(Geo, LaToVegas) {
+  const Meters d = haversine_distance(kLosAngeles, kLasVegas);
+  EXPECT_NEAR(d.kilometers(), 368.0, 15.0);
+}
+
+TEST(Geo, TriangleInequalityViaWaypoint) {
+  const double direct = haversine_distance(kLosAngeles, kBoston).value;
+  const double via = haversine_distance(kLosAngeles, kLasVegas).value +
+                     haversine_distance(kLasVegas, kBoston).value;
+  EXPECT_LE(direct, via + 1.0);
+}
+
+TEST(Geo, InterpolateEndpoints) {
+  EXPECT_EQ(interpolate(kLosAngeles, kBoston, 0.0), kLosAngeles);
+  EXPECT_EQ(interpolate(kLosAngeles, kBoston, 1.0), kBoston);
+  const LatLon mid = interpolate(kLosAngeles, kBoston, 0.5);
+  EXPECT_NEAR(mid.lat, (kLosAngeles.lat + kBoston.lat) / 2, 1e-12);
+  EXPECT_NEAR(mid.lon, (kLosAngeles.lon + kBoston.lon) / 2, 1e-12);
+}
+
+TEST(Geo, BearingEastward) {
+  // LA -> Boston is roughly east-northeast.
+  const double brg = initial_bearing_deg(kLosAngeles, kBoston);
+  EXPECT_GT(brg, 45.0);
+  EXPECT_LT(brg, 90.0);
+}
+
+TEST(Geo, BearingRange) {
+  const double brg = initial_bearing_deg(kBoston, kLosAngeles);
+  EXPECT_GE(brg, 0.0);
+  EXPECT_LT(brg, 360.0);
+}
+
+TEST(Geo, DestinationRoundTrip) {
+  // Travel 100 km at bearing 60, distance back must match.
+  const LatLon dst = destination(kLosAngeles, 60.0,
+                                 Meters::from_kilometers(100.0));
+  EXPECT_NEAR(haversine_distance(kLosAngeles, dst).kilometers(), 100.0,
+              0.5);
+}
+
+TEST(Geo, DestinationZeroDistance) {
+  const LatLon dst = destination(kBoston, 123.0, Meters{0.0});
+  EXPECT_NEAR(dst.lat, kBoston.lat, 1e-9);
+  EXPECT_NEAR(dst.lon, kBoston.lon, 1e-9);
+}
+
+}  // namespace
+}  // namespace wheels

@@ -1,0 +1,209 @@
+// Integration: a strided app campaign end-to-end against the paper's
+// qualitative QoE findings (§7).
+#include <gtest/gtest.h>
+
+#include "apps/app_campaign.h"
+#include "core/stats.h"
+
+namespace wheels::apps {
+namespace {
+
+class AppsIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AppCampaignConfig cfg;
+    cfg.seed = 20250707;
+    cfg.cycle_stride = 16;
+    campaign_ = new AppCampaign(cfg);
+    result_ = new AppCampaignResult(campaign_->run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete campaign_;
+    result_ = nullptr;
+    campaign_ = nullptr;
+  }
+
+  static AppCampaign* campaign_;
+  static AppCampaignResult* result_;
+};
+
+AppCampaign* AppsIntegration::campaign_ = nullptr;
+AppCampaignResult* AppsIntegration::result_ = nullptr;
+
+TEST_F(AppsIntegration, EveryAppKindHasRuns) {
+  for (auto op : ran::kAllOperators) {
+    int counts[4] = {};
+    for (const auto& r : result_->for_op(op)) {
+      ++counts[static_cast<int>(r.app)];
+      EXPECT_GE(r.handovers, 0);
+      EXPECT_GE(r.frac_high_speed_5g, 0.0);
+      EXPECT_LE(r.frac_high_speed_5g, 1.0);
+    }
+    EXPECT_GT(counts[0], 10) << "AR";
+    EXPECT_GT(counts[1], 10) << "CAV";
+    EXPECT_GT(counts[2], 5) << "video";
+    EXPECT_GT(counts[3], 5) << "gaming";
+  }
+}
+
+TEST_F(AppsIntegration, ArDrivingWorseThanBestStatic) {
+  const auto sb =
+      campaign_->run_static_baseline(ran::OperatorId::Verizon);
+  double best_static_e2e = 1e18;
+  double best_static_map = 0.0;
+  for (const auto& r : sb) {
+    if (r.app == AppKind::Ar && r.compression && r.mean_e2e_ms > 0.0) {
+      best_static_e2e = std::min(best_static_e2e, r.mean_e2e_ms);
+      best_static_map = std::max(best_static_map, r.map);
+    }
+  }
+  // Paper: best static ~68 ms, mAP ~36.5.
+  EXPECT_LT(best_static_e2e, 110.0);
+  EXPECT_GT(best_static_map, 32.0);
+
+  std::vector<double> driving_e2e;
+  for (const auto& r : result_->for_op(ran::OperatorId::Verizon)) {
+    if (r.app == AppKind::Ar && r.compression && r.median_e2e_ms > 0.0) {
+      driving_e2e.push_back(r.median_e2e_ms);
+    }
+  }
+  ASSERT_GT(driving_e2e.size(), 10u);
+  EXPECT_GT(median(driving_e2e), best_static_e2e * 1.5);
+}
+
+TEST_F(AppsIntegration, CompressionCutsCavLatencyManyFold) {
+  // Paper: point-cloud compression reduces the CAV median E2E ~8x.
+  for (auto op : ran::kAllOperators) {
+    std::vector<double> with, without;
+    for (const auto& r : result_->for_op(op)) {
+      if (r.app != AppKind::Cav || r.median_e2e_ms <= 0.0) continue;
+      (r.compression ? with : without).push_back(r.median_e2e_ms);
+    }
+    ASSERT_GT(with.size(), 10u);
+    ASSERT_GT(without.size(), 10u);
+    EXPECT_GT(median(without), median(with) * 4.0) << to_string(op);
+  }
+}
+
+TEST_F(AppsIntegration, CavCannotMeet100msBudget) {
+  // Paper: the CAV pipeline never achieves 100 ms E2E while driving.
+  std::vector<double> e2e;
+  for (auto op : ran::kAllOperators) {
+    for (const auto& r : result_->for_op(op)) {
+      if (r.app == AppKind::Cav && r.compression && r.median_e2e_ms > 0.0) {
+        e2e.push_back(r.median_e2e_ms);
+      }
+    }
+  }
+  ASSERT_FALSE(e2e.empty());
+  EXPECT_GT(*std::min_element(e2e.begin(), e2e.end()), 100.0);
+}
+
+TEST_F(AppsIntegration, ArMapDegradesWhileDriving) {
+  std::vector<double> maps;
+  for (const auto& r : result_->for_op(ran::OperatorId::Verizon)) {
+    if (r.app == AppKind::Ar && r.compression && !r.e2e_ms.empty()) {
+      maps.push_back(r.map);
+    }
+  }
+  ASSERT_GT(maps.size(), 10u);
+  const double med = median(maps);
+  // Paper: driving mAP ~30 vs 36.5 static; never above the table maximum.
+  EXPECT_LT(med, 36.0);
+  EXPECT_GT(med, 15.0);
+}
+
+TEST_F(AppsIntegration, VideoQoeSuffersWhileDriving) {
+  for (auto op : ran::kAllOperators) {
+    std::vector<double> qoe;
+    int negative = 0;
+    for (const auto& r : result_->for_op(op)) {
+      if (r.app != AppKind::Video) continue;
+      qoe.push_back(r.qoe);
+      if (r.qoe < 0.0) ++negative;
+      EXPECT_GE(r.rebuffer_fraction, 0.0);
+      EXPECT_LE(r.rebuffer_fraction, 1.0);
+    }
+    ASSERT_GT(qoe.size(), 5u);
+    // Paper: ~40% of runs have negative QoE; median way below static 96.
+    EXPECT_GT(static_cast<double>(negative) / qoe.size(), 0.2)
+        << to_string(op);
+    EXPECT_LT(median(qoe), 40.0);
+  }
+}
+
+TEST_F(AppsIntegration, VideoBestStaticNearTheoreticalMax) {
+  const auto sb =
+      campaign_->run_static_baseline(ran::OperatorId::Verizon);
+  double best = -1e18;
+  for (const auto& r : sb) {
+    if (r.app == AppKind::Video) best = std::max(best, r.qoe);
+  }
+  // Paper: 96.29 with a theoretical best of 100.
+  EXPECT_GT(best, 80.0);
+  EXPECT_LE(best, 100.0);
+}
+
+TEST_F(AppsIntegration, GamingBitrateCollapsesVsStatic) {
+  const auto sb =
+      campaign_->run_static_baseline(ran::OperatorId::Verizon);
+  double best_static = 0.0;
+  for (const auto& r : sb) {
+    if (r.app == AppKind::Gaming) {
+      best_static = std::max(best_static, r.gaming_bitrate_mbps);
+    }
+  }
+  EXPECT_GT(best_static, 80.0);  // paper: 98.5 Mbps
+
+  std::vector<double> driving;
+  for (const auto& r : result_->for_op(ran::OperatorId::Verizon)) {
+    if (r.app == AppKind::Gaming) driving.push_back(r.gaming_bitrate_mbps);
+  }
+  ASSERT_GT(driving.size(), 5u);
+  EXPECT_LT(median(driving), best_static * 0.4);  // paper: 17.5 vs 98.5
+}
+
+TEST_F(AppsIntegration, GamingDefendsFrameRate) {
+  // Paper: the platform keeps drops low (median ~1.6%) at the cost of
+  // latency; drops can still spike into the double digits.
+  std::vector<double> drops;
+  for (auto op : ran::kAllOperators) {
+    for (const auto& r : result_->for_op(op)) {
+      if (r.app == AppKind::Gaming) drops.push_back(r.frame_drop_rate);
+    }
+  }
+  ASSERT_GT(drops.size(), 20u);
+  EXPECT_LT(median(drops), 0.06);
+  EXPECT_GT(percentile(drops, 100.0), 0.03);
+}
+
+TEST_F(AppsIntegration, HandoversDoNotDecideAppQoe) {
+  // §7: no strong correlation between per-run handover count and QoE.
+  std::vector<double> hos, qoe;
+  for (auto op : ran::kAllOperators) {
+    for (const auto& r : result_->for_op(op)) {
+      if (r.app != AppKind::Video) continue;
+      hos.push_back(static_cast<double>(r.handovers));
+      qoe.push_back(r.qoe);
+    }
+  }
+  ASSERT_GT(hos.size(), 20u);
+  EXPECT_LT(std::abs(pearson(hos, qoe)), 0.45);
+}
+
+TEST_F(AppsIntegration, EdgeRunsExistForVerizonOnly) {
+  bool verizon_edge = false;
+  for (const auto& r : result_->for_op(ran::OperatorId::Verizon)) {
+    if (r.server == net::ServerKind::Edge) verizon_edge = true;
+  }
+  EXPECT_TRUE(verizon_edge);
+  for (auto op : {ran::OperatorId::TMobile, ran::OperatorId::ATT}) {
+    for (const auto& r : result_->for_op(op)) {
+      EXPECT_EQ(r.server, net::ServerKind::Cloud);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wheels::apps

@@ -1,0 +1,298 @@
+// Integration: a strided network campaign end-to-end, checking the
+// structural invariants every figure/table depends on. One shared campaign
+// run (expensive) feeds all the checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/coverage.h"
+#include "analysis/correlation.h"
+#include "analysis/dataset_stats.h"
+#include "analysis/handover_analysis.h"
+#include "analysis/longterm.h"
+#include "analysis/performance.h"
+#include "trip/campaign.h"
+
+namespace wheels {
+namespace {
+
+class CampaignIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trip::CampaignConfig cfg;
+    cfg.seed = 20250707;
+    cfg.cycle_stride = 12;
+    campaign_ = new trip::Campaign(cfg);
+    result_ = new trip::CampaignResult(campaign_->run());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete campaign_;
+    result_ = nullptr;
+    campaign_ = nullptr;
+  }
+
+  static trip::Campaign* campaign_;
+  static trip::CampaignResult* result_;
+};
+
+trip::Campaign* CampaignIntegration::campaign_ = nullptr;
+trip::CampaignResult* CampaignIntegration::result_ = nullptr;
+
+TEST_F(CampaignIntegration, TripShapeMatchesStudy) {
+  EXPECT_NEAR(result_->route_length.kilometers(), 5'711.0, 150.0);
+  EXPECT_GE(result_->days, 7);
+  EXPECT_LE(result_->days, 12);
+  EXPECT_GT(result_->drive_time.minutes(), 3'000.0);
+}
+
+TEST_F(CampaignIntegration, AllLogsPopulatedForEveryOperator) {
+  for (const auto& log : result_->logs) {
+    EXPECT_GT(log.kpi.size(), 500u) << to_string(log.op);
+    EXPECT_GT(log.rtt.size(), 200u);
+    EXPECT_GT(log.passive.size(), 10'000u);
+    EXPECT_GT(log.tests.size(), 20u);
+    EXPECT_GT(log.unique_cells, 200u);
+    EXPECT_FALSE(log.test_handovers.empty());
+    EXPECT_FALSE(log.passive_handovers.empty());
+  }
+}
+
+TEST_F(CampaignIntegration, KpiTimesMonotonicPerOperator) {
+  for (const auto& log : result_->logs) {
+    for (std::size_t i = 1; i < log.kpi.size(); ++i) {
+      EXPECT_LE(log.kpi[i - 1].time.ms_since_epoch,
+                log.kpi[i].time.ms_since_epoch);
+    }
+  }
+}
+
+TEST_F(CampaignIntegration, SamplesCarryConsistentContext) {
+  for (const auto& log : result_->logs) {
+    for (const auto& s : log.kpi) {
+      EXPECT_GE(s.tput_mbps, 0.0);
+      EXPECT_LE(s.tput_mbps, 3'600.0);
+      EXPECT_GE(s.speed.value, 0.0);
+      EXPECT_LE(s.speed.value, 85.0);
+      EXPECT_GE(s.position.value, 0.0);
+      EXPECT_LE(s.position.value, result_->route_length.value + 1.0);
+      if (s.connected) {
+        EXPECT_GT(s.rsrp_dbm, -150.0);
+        EXPECT_LT(s.rsrp_dbm, -30.0);
+        EXPECT_GE(s.mcs, 0.0);
+        EXPECT_LE(s.mcs, 28.0);
+        EXPECT_GE(s.num_cc, 1.0);
+      }
+      EXPECT_GE(s.handovers, 0);
+    }
+  }
+}
+
+TEST_F(CampaignIntegration, WindowHandoverCountsMatchRecords) {
+  for (const auto& log : result_->logs) {
+    std::size_t windowed = 0;
+    for (const auto& s : log.kpi) {
+      windowed += static_cast<std::size_t>(s.handovers);
+    }
+    std::size_t summarized = 0;
+    for (const auto& t : log.tests) {
+      if (t.test != trip::TestType::Ping) {
+        summarized += static_cast<std::size_t>(t.handovers);
+      }
+    }
+    // Per-window counts and per-test summaries tally the same events; the
+    // full record stream additionally covers RTT tests, gaps, and the
+    // fast-forwarded cycles, so it dominates both.
+    EXPECT_EQ(windowed, summarized) << to_string(log.op);
+    EXPECT_LE(windowed, log.test_handovers.size());
+    EXPECT_GT(windowed, 0u);
+  }
+}
+
+TEST_F(CampaignIntegration, CoverageShapesMatchPaper) {
+  const auto& v = result_->for_op(ran::OperatorId::Verizon);
+  const auto& t = result_->for_op(ran::OperatorId::TMobile);
+  const auto& a = result_->for_op(ran::OperatorId::ATT);
+  const auto cv = analysis::coverage_from_kpi(v.kpi);
+  const auto ct = analysis::coverage_from_kpi(t.kpi);
+  const auto ca = analysis::coverage_from_kpi(a.kpi);
+  // T-Mobile leads 5G coverage by a wide margin (paper: 68 vs 18-22%).
+  EXPECT_GT(ct.total_5g(), 0.5);
+  EXPECT_GT(ct.total_5g(), cv.total_5g() + 0.25);
+  EXPECT_GT(ct.total_5g(), ca.total_5g() + 0.25);
+  EXPECT_LT(cv.total_5g(), 0.35);
+  EXPECT_LT(ca.total_5g(), 0.35);
+  // Verizon has the most mmWave; AT&T's high-speed 5G is thin.
+  EXPECT_GT(cv.tech(radio::Tech::NR_MMWAVE),
+            ct.tech(radio::Tech::NR_MMWAVE));
+  EXPECT_LT(ca.high_speed_5g(), 0.12);
+  // T-Mobile is the only carrier with large mid-band share.
+  EXPECT_GT(ct.tech(radio::Tech::NR_MID), 0.2);
+}
+
+TEST_F(CampaignIntegration, PassiveViewPessimisticVsActive) {
+  // Fig. 1: the handover-logger (passive) sees far less 5G than the XCAL
+  // logs from backlogged tests.
+  for (const auto& log : result_->logs) {
+    const auto passive = analysis::coverage_from_passive(log.passive);
+    analysis::KpiFilter dl;
+    dl.only_downlink = true;
+    const auto active = analysis::coverage_from_kpi(log.kpi, dl);
+    EXPECT_LT(passive.total_5g(), active.total_5g() + 0.02)
+        << to_string(log.op);
+  }
+  // AT&T passive: zero 5G, like Fig. 1d.
+  const auto att_passive = analysis::coverage_from_passive(
+      result_->for_op(ran::OperatorId::ATT).passive);
+  EXPECT_NEAR(att_passive.total_5g(), 0.0, 0.005);
+}
+
+TEST_F(CampaignIntegration, DownlinkGetsMoreHighSpeed5gThanUplink) {
+  for (const auto& log : result_->logs) {
+    analysis::KpiFilter dl, ul;
+    dl.only_downlink = true;
+    ul.only_uplink = true;
+    const auto cdl = analysis::coverage_from_kpi(log.kpi, dl);
+    const auto cul = analysis::coverage_from_kpi(log.kpi, ul);
+    EXPECT_GE(cdl.high_speed_5g(), cul.high_speed_5g() - 0.02)
+        << to_string(log.op);
+  }
+}
+
+TEST_F(CampaignIntegration, DrivingPerformanceInPaperBands) {
+  for (const auto& log : result_->logs) {
+    analysis::PerfFilter dl, ul;
+    dl.test = trip::TestType::DownlinkBulk;
+    ul.test = trip::TestType::UplinkBulk;
+    const auto dls = analysis::tput_samples(log.kpi, dl);
+    const auto uls = analysis::tput_samples(log.kpi, ul);
+    const auto rtts = analysis::rtt_samples(log.rtt, {});
+    ASSERT_GT(dls.size(), 300u);
+    // Paper Fig. 3b: DL median 6-34 Mbps, UL median 6-9 Mbps (we allow
+    // slack for the strided subsample), RTT median 60-76 ms.
+    EXPECT_GT(percentile(dls, 50.0), 5.0) << to_string(log.op);
+    EXPECT_LT(percentile(dls, 50.0), 45.0);
+    EXPECT_GT(percentile(uls, 50.0), 3.0);
+    EXPECT_LT(percentile(uls, 50.0), 15.0);
+    EXPECT_GT(percentile(rtts, 50.0), 50.0);
+    EXPECT_LT(percentile(rtts, 50.0), 100.0);
+    // A significant very-low-throughput tail exists in both directions.
+    EXPECT_GT(EmpiricalCdf(dls).at(5.0), 0.12);
+    EXPECT_GT(EmpiricalCdf(uls).at(5.0), 0.2);
+  }
+}
+
+TEST_F(CampaignIntegration, KpiCorrelationsAreWeak) {
+  // Table 2: no KPI has |r| > ~0.65 with throughput, and handovers have
+  // essentially none.
+  for (const auto& log : result_->logs) {
+    for (auto test :
+         {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {
+      const auto c = analysis::correlate(log.kpi, test);
+      EXPECT_LT(std::abs(c.rsrp), 0.75);
+      EXPECT_LT(std::abs(c.mcs), 0.75);
+      EXPECT_LT(std::abs(c.ca), 0.75);
+      EXPECT_LT(std::abs(c.bler), 0.6);
+      EXPECT_LT(std::abs(c.speed), 0.6);
+      EXPECT_LT(std::abs(c.handovers), 0.2);
+    }
+  }
+}
+
+TEST_F(CampaignIntegration, HandoverStatisticsMatchPaperShape) {
+  for (const auto& log : result_->logs) {
+    const auto hpm = analysis::handovers_per_mile(
+        log.tests, trip::TestType::DownlinkBulk);
+    ASSERT_GT(hpm.size(), 10u);
+    const double med = percentile(hpm, 50.0);
+    EXPECT_GE(med, 0.5) << to_string(log.op);
+    EXPECT_LE(med, 6.0);
+    const auto dur = analysis::handover_durations(
+        log.tests, log.test_handovers, trip::TestType::DownlinkBulk);
+    ASSERT_GT(dur.size(), 10u);
+    const double dmed = percentile(dur, 50.0);
+    EXPECT_GE(dmed, 35.0);
+    EXPECT_LE(dmed, 120.0);
+  }
+}
+
+TEST_F(CampaignIntegration, HandoverImpactMostlyNegativeDuringHo) {
+  // Fig. 12: dT1 < 0 for ~80% of handover windows.
+  std::size_t neg = 0, total = 0;
+  for (const auto& log : result_->logs) {
+    const auto impacts = analysis::handover_impacts(
+        log.kpi, log.test_handovers, trip::TestType::DownlinkBulk);
+    for (const auto& imp : impacts) {
+      ++total;
+      if (imp.delta_t1 < 0.0) ++neg;
+    }
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(neg) / total, 0.6);
+}
+
+TEST_F(CampaignIntegration, StaticBaselineBeatsDrivingByOrders) {
+  const auto sb = campaign_->run_static_baseline(ran::OperatorId::Verizon);
+  ASSERT_GT(sb.cities_tested, 5);
+  const double static_med = median(sb.dl_tput_mbps);
+  analysis::PerfFilter dl;
+  dl.test = trip::TestType::DownlinkBulk;
+  const double driving_med = median(analysis::tput_samples(
+      result_->for_op(ran::OperatorId::Verizon).kpi, dl));
+  // Paper: driving medians are 1-5% of static medians.
+  EXPECT_GT(static_med, driving_med * 8.0);
+  EXPECT_GT(percentile(sb.dl_tput_mbps, 100.0), 1'500.0);
+}
+
+TEST_F(CampaignIntegration, DatasetStatsLookLikeTable1) {
+  const auto st = analysis::dataset_stats(*result_);
+  EXPECT_NEAR(st.total_km, 5'711.0, 150.0);
+  EXPECT_EQ(st.timezones, 4);
+  EXPECT_EQ(st.major_cities, 10);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(st.unique_cells[i], 200u);
+    EXPECT_GT(st.handovers[i], 100u);
+    EXPECT_GT(st.runtime_min[i], 3'000.0);
+  }
+  // T-Mobile sees the most cells and the most handovers (Table 1).
+  const auto t = static_cast<std::size_t>(ran::OperatorId::TMobile);
+  const auto v = static_cast<std::size_t>(ran::OperatorId::Verizon);
+  const auto a = static_cast<std::size_t>(ran::OperatorId::ATT);
+  EXPECT_GT(st.unique_cells[t], st.unique_cells[v]);
+  EXPECT_GT(st.handovers[t], st.handovers[a]);
+  EXPECT_GT(st.rx_gb, st.tx_gb);  // downlink moves more data
+}
+
+TEST_F(CampaignIntegration, EdgeServersOnlyForVerizon) {
+  for (const auto& log : result_->logs) {
+    bool any_edge = false;
+    for (const auto& s : log.kpi) {
+      if (s.server == net::ServerKind::Edge) any_edge = true;
+    }
+    if (log.op == ran::OperatorId::Verizon) {
+      EXPECT_TRUE(any_edge);
+    } else {
+      EXPECT_FALSE(any_edge) << to_string(log.op);
+    }
+  }
+}
+
+TEST_F(CampaignIntegration, DeterministicAcrossRuns) {
+  trip::CampaignConfig cfg;
+  cfg.seed = 20250707;
+  cfg.cycle_stride = 12;
+  trip::Campaign again(cfg);
+  const auto res2 = again.run();
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(res2.logs[i].kpi.size(), result_->logs[i].kpi.size());
+    for (std::size_t k = 0; k < res2.logs[i].kpi.size(); k += 97) {
+      EXPECT_DOUBLE_EQ(res2.logs[i].kpi[k].tput_mbps,
+                       result_->logs[i].kpi[k].tput_mbps);
+    }
+    EXPECT_EQ(res2.logs[i].test_handovers.size(),
+              result_->logs[i].test_handovers.size());
+  }
+}
+
+}  // namespace
+}  // namespace wheels

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "net/mptcp.h"
+
+namespace wheels::net {
+namespace {
+
+TEST(Mptcp, InstantAggregation) {
+  const double rates[] = {30.0, 10.0, 5.0};
+  const auto r = aggregate_instant(rates);
+  EXPECT_DOUBLE_EQ(r.best_single_mbps, 30.0);
+  EXPECT_DOUBLE_EQ(r.ideal_sum_mbps, 45.0);
+  EXPECT_DOUBLE_EQ(r.realistic_mbps, 30.0 + 0.8 * 15.0);
+  EXPECT_NEAR(r.gain_over_best, 42.0 / 30.0, 1e-12);
+}
+
+TEST(Mptcp, SingleOperatorNoGain) {
+  const double rates[] = {20.0};
+  const auto r = aggregate_instant(rates);
+  EXPECT_DOUBLE_EQ(r.realistic_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(r.gain_over_best, 1.0);
+}
+
+TEST(Mptcp, AllZeroIsSafe) {
+  const double rates[] = {0.0, 0.0};
+  const auto r = aggregate_instant(rates);
+  EXPECT_DOUBLE_EQ(r.realistic_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(r.gain_over_best, 1.0);
+}
+
+TEST(Mptcp, CustomEfficiency) {
+  const double rates[] = {10.0, 10.0};
+  const auto r = aggregate_instant(rates, 0.5);
+  EXPECT_DOUBLE_EQ(r.realistic_mbps, 15.0);
+}
+
+TEST(Mptcp, SeriesAggregation) {
+  const std::vector<std::vector<double>> series = {
+      {10.0, 0.0, 5.0},
+      {2.0, 8.0, 5.0},
+  };
+  const auto out = aggregate_series(series);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0].best_single_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(out[1].best_single_mbps, 8.0);
+  // Complementary outages: aggregation always has something.
+  for (const auto& r : out) EXPECT_GT(r.realistic_mbps, 0.0);
+}
+
+TEST(Mptcp, SeriesRejectsUnequalLengths) {
+  const std::vector<std::vector<double>> series = {{1.0, 2.0}, {1.0}};
+  EXPECT_THROW(aggregate_series(series), std::invalid_argument);
+}
+
+TEST(Mptcp, EmptySeries) {
+  EXPECT_TRUE(aggregate_series({}).empty());
+}
+
+}  // namespace
+}  // namespace wheels::net

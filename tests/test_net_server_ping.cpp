@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "net/ping.h"
+#include "net/server.h"
+
+namespace wheels::net {
+namespace {
+
+ServerSelector make_selector() {
+  return ServerSelector({{"Los Angeles", Meters{0.0}},
+                         {"Denver", Meters{1'900'000.0}},
+                         {"Boston", Meters{5'600'000.0}}});
+}
+
+TEST(Server, VerizonGetsEdgeNearCity) {
+  const auto sel = make_selector();
+  const auto ep = sel.select(ran::OperatorId::Verizon, Meters{10'000.0},
+                             TimeZone::Pacific);
+  EXPECT_EQ(ep.kind, ServerKind::Edge);
+  EXPECT_LT(ep.one_way_delay.value, 5.0);
+  EXPECT_NE(ep.name.find("Los Angeles"), std::string::npos);
+}
+
+TEST(Server, VerizonFallsBackToCloudFarFromEdge) {
+  const auto sel = make_selector();
+  const auto ep = sel.select(ran::OperatorId::Verizon, Meters{900'000.0},
+                             TimeZone::Mountain);
+  EXPECT_EQ(ep.kind, ServerKind::Cloud);
+}
+
+TEST(Server, OtherOperatorsAlwaysCloud) {
+  const auto sel = make_selector();
+  for (auto op : {ran::OperatorId::TMobile, ran::OperatorId::ATT}) {
+    const auto ep = sel.select(op, Meters{0.0}, TimeZone::Pacific);
+    EXPECT_EQ(ep.kind, ServerKind::Cloud) << to_string(op);
+  }
+}
+
+TEST(Server, CloudDelayDependsOnTimezone) {
+  // Mountain-zone tests use the California servers: longest wired path.
+  const auto mtn = ServerSelector::cloud_for(TimeZone::Mountain);
+  const auto pac = ServerSelector::cloud_for(TimeZone::Pacific);
+  const auto est = ServerSelector::cloud_for(TimeZone::Eastern);
+  EXPECT_GT(mtn.one_way_delay.value, pac.one_way_delay.value);
+  EXPECT_GT(mtn.one_way_delay.value, est.one_way_delay.value);
+}
+
+TEST(Server, NearestEdgeChosen) {
+  const auto sel = make_selector();
+  const auto ep = sel.select(ran::OperatorId::Verizon,
+                             Meters{1'910'000.0}, TimeZone::Mountain);
+  EXPECT_EQ(ep.kind, ServerKind::Edge);
+  EXPECT_NE(ep.name.find("Denver"), std::string::npos);
+}
+
+ran::LinkSample connected_sample() {
+  ran::LinkSample s;
+  s.connected = true;
+  s.air_latency = Millis{15.0};
+  s.bler_dl = 0.05;
+  return s;
+}
+
+TEST(Ping, RttComposition) {
+  Rng rng(1);
+  auto s = connected_sample();
+  const auto rtt = ping_rtt(s, Millis{10.0}, rng);
+  ASSERT_TRUE(rtt.has_value());
+  // 2x air + 2x path + server processing.
+  EXPECT_NEAR(rtt->value, 2.0 * 15.0 + 2.0 * 10.0 + 0.5, 1e-9);
+}
+
+TEST(Ping, HandoverBufferingShowsUpInAirLatency) {
+  Rng rng(2);
+  auto s = connected_sample();
+  s.in_handover = true;
+  s.air_latency = Millis{80.0};  // includes remaining interruption
+  const auto rtt = ping_rtt(s, Millis{10.0}, rng);
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_GT(rtt->value, 150.0);
+}
+
+TEST(Ping, MostlyLostWhenDisconnected) {
+  Rng rng(3);
+  ran::LinkSample s;  // disconnected
+  int lost = 0, delayed = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto rtt = ping_rtt(s, Millis{10.0}, rng);
+    if (!rtt) {
+      ++lost;
+    } else {
+      ++delayed;
+      EXPECT_GT(rtt->value, 500.0);  // straggler echoes are second-scale
+    }
+  }
+  EXPECT_GT(lost, delayed * 3);
+}
+
+TEST(Ping, TimeoutDropsExtremeRtt) {
+  Rng rng(4);
+  auto s = connected_sample();
+  s.air_latency = Millis{5'000.0};
+  PingConfig cfg;
+  EXPECT_FALSE(ping_rtt(s, Millis{10.0}, rng, cfg).has_value());
+}
+
+TEST(Ping, CellEdgeSpikesExist) {
+  Rng rng(5);
+  auto s = connected_sample();
+  s.bler_dl = 0.5;  // cell edge: retransmission storms possible
+  int spikes = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    const auto rtt = ping_rtt(s, Millis{10.0}, rng);
+    if (rtt && rtt->value > 250.0) ++spikes;
+  }
+  EXPECT_GT(spikes, 50);
+  EXPECT_LT(spikes, 1'000);
+}
+
+}  // namespace
+}  // namespace wheels::net

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "net/tcp_cubic.h"
+
+namespace wheels::net {
+namespace {
+
+// Run the flow over a constant link for `seconds`; returns mean goodput.
+double run_constant(CubicFlow& flow, Mbps rate, Millis rtt, double seconds,
+                    double skip_first_s = 0.0) {
+  const Millis dt{10.0};
+  double bytes = 0.0;
+  const int steps = static_cast<int>(seconds * 100.0);
+  const int skip = static_cast<int>(skip_first_s * 100.0);
+  for (int i = 0; i < steps; ++i) {
+    const double b = flow.step(dt, rate, rtt);
+    if (i >= skip) bytes += b;
+  }
+  return bytes * 8.0 / ((seconds - skip_first_s) * 1e6);
+}
+
+TEST(Cubic, ReachesCapacityOnCleanLink) {
+  CubicFlow flow(Rng(1));
+  const double goodput =
+      run_constant(flow, Mbps{100.0}, Millis{40.0}, 20.0, 5.0);
+  EXPECT_GT(goodput, 80.0);
+  EXPECT_LE(goodput, 100.0 + 1e-6);
+}
+
+TEST(Cubic, SlowStartDoublesPerRtt) {
+  CubicFlow flow(Rng(2));
+  const double w0 = flow.cwnd_bytes();
+  // One RTT of steps on an uncongested link.
+  for (int i = 0; i < 4; ++i) {
+    flow.step(Millis{10.0}, Mbps{10'000.0}, Millis{40.0});
+  }
+  EXPECT_TRUE(flow.in_slow_start());
+  EXPECT_GT(flow.cwnd_bytes(), w0 * 1.5);
+  EXPECT_LT(flow.cwnd_bytes(), w0 * 4.0);
+}
+
+class CubicCapacityTracking : public ::testing::TestWithParam<double> {};
+
+TEST_P(CubicCapacityTracking, Achieves80PercentOfLink) {
+  const double cap = GetParam();
+  CubicFlow flow(Rng(3));
+  const double goodput =
+      run_constant(flow, Mbps{cap}, Millis{50.0}, 30.0, 8.0);
+  EXPECT_GT(goodput, cap * 0.8) << "cap=" << cap;
+  EXPECT_LE(goodput, cap * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CubicCapacityTracking,
+                         ::testing::Values(2.0, 10.0, 50.0, 200.0, 1'000.0));
+
+TEST(Cubic, HighBdpPathFillsWithinSeconds) {
+  // 2 Gbps x 20 ms: the mmWave static case that motivated the buffer model.
+  CubicFlow flow(Rng(4));
+  const double goodput =
+      run_constant(flow, Mbps{2'000.0}, Millis{20.0}, 10.0, 3.0);
+  EXPECT_GT(goodput, 1'500.0);
+}
+
+TEST(Cubic, ShortStallDoesNotCollapseWindow) {
+  CubicFlow flow(Rng(5));
+  run_constant(flow, Mbps{100.0}, Millis{40.0}, 10.0);
+  const double w_before = flow.cwnd_bytes();
+  // 100 ms handover interruption: under the 1 s RTO.
+  for (int i = 0; i < 10; ++i) {
+    flow.step(Millis{10.0}, Mbps{0.0}, Millis{40.0});
+  }
+  EXPECT_EQ(flow.timeouts(), 0);
+  EXPECT_NEAR(flow.cwnd_bytes(), w_before, 1.0);
+}
+
+TEST(Cubic, LongOutageFiresRtoAndRestartsSlow) {
+  CubicFlow flow(Rng(6));
+  run_constant(flow, Mbps{100.0}, Millis{40.0}, 10.0);
+  for (int i = 0; i < 300; ++i) {  // 3 s outage
+    flow.step(Millis{10.0}, Mbps{0.0}, Millis{40.0});
+  }
+  EXPECT_GE(flow.timeouts(), 1);
+  EXPECT_LE(flow.cwnd_bytes(), 2.0 * 1448.0);
+  // Recovery: goodput returns eventually.
+  const double post = run_constant(flow, Mbps{100.0}, Millis{40.0}, 20.0,
+                                   10.0);
+  EXPECT_GT(post, 40.0);
+}
+
+TEST(Cubic, LossEventsOccurOnSaturatedLink) {
+  CubicFlow flow(Rng(7));
+  run_constant(flow, Mbps{50.0}, Millis{40.0}, 30.0);
+  EXPECT_GE(flow.loss_events(), 1);
+}
+
+TEST(Cubic, QueueingDelayBounded) {
+  CubicFlow flow(Rng(8));
+  const Millis dt{10.0};
+  for (int i = 0; i < 3'000; ++i) {
+    flow.step(dt, Mbps{20.0}, Millis{50.0});
+    // Bufferbloat bounded by the configured buffer depth (+ slack).
+    EXPECT_LT(flow.queueing_delay().value, 1'000.0);
+  }
+}
+
+TEST(Cubic, RestartResetsState) {
+  CubicFlow flow(Rng(9));
+  run_constant(flow, Mbps{100.0}, Millis{40.0}, 10.0);
+  flow.restart();
+  EXPECT_TRUE(flow.in_slow_start());
+  EXPECT_NEAR(flow.cwnd_bytes(), 10.0 * 1448.0, 1.0);
+  EXPECT_DOUBLE_EQ(flow.queueing_delay().value, 0.0);
+}
+
+TEST(Cubic, DeliversNothingWhenLinkDead) {
+  CubicFlow flow(Rng(10));
+  double bytes = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    bytes += flow.step(Millis{10.0}, Mbps{0.0}, Millis{40.0});
+  }
+  EXPECT_DOUBLE_EQ(bytes, 0.0);
+}
+
+TEST(Cubic, FasterOnShorterRtt) {
+  // Over a short window, the short-RTT flow ramps faster (slow start is
+  // per-RTT).
+  CubicFlow near(Rng(11)), far(Rng(12));
+  const double g_near = run_constant(near, Mbps{500.0}, Millis{15.0}, 3.0);
+  const double g_far = run_constant(far, Mbps{500.0}, Millis{120.0}, 3.0);
+  EXPECT_GT(g_near, g_far);
+}
+
+}  // namespace
+}  // namespace wheels::net

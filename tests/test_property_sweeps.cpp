@@ -1,0 +1,136 @@
+// Property sweeps: invariants that must hold for every combination of
+// operator, traffic profile, and environment (UE), and across the
+// (RTT x capacity) plane (TCP). These are the guard rails the calibration
+// knobs must never break.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/stats.h"
+#include "net/tcp_cubic.h"
+#include "ran/ue.h"
+
+namespace wheels {
+namespace {
+
+using ran::OperatorId;
+using ran::TrafficProfile;
+using radio::Environment;
+
+class UeSweep
+    : public ::testing::TestWithParam<
+          std::tuple<OperatorId, TrafficProfile, Environment>> {
+ protected:
+  static ran::Corridor make_corridor(Environment env) {
+    return ran::Corridor(
+        {{Meters{0.0}, Meters{200'000.0}, env, TimeZone::Central}});
+  }
+};
+
+TEST_P(UeSweep, InvariantsHoldWhileDriving) {
+  const auto [op, traffic, env] = GetParam();
+  const ran::Corridor corridor = make_corridor(env);
+  const auto& prof = ran::operator_profile(op);
+  const auto dep = ran::Deployment::generate(corridor, prof, Rng(1));
+  ran::UeSimulator ue(corridor, dep, prof, Rng(2), traffic);
+
+  SimTime t{0.0};
+  Meters pos{0.0};
+  const Mph speed{45.0};
+  int connected = 0;
+  const int steps = 4'000;
+  std::size_t ho_before = 0;
+  for (int i = 0; i < steps; ++i) {
+    const auto s = ue.step(t, pos, speed, Millis{100.0});
+    t += Millis{100.0};
+    pos += speed * Millis{100.0};
+
+    // Rates are non-negative, capped by the UE capability, zero in HO.
+    EXPECT_GE(s.phy_rate_dl.value, 0.0);
+    EXPECT_GE(s.phy_rate_ul.value, 0.0);
+    EXPECT_LE(s.phy_rate_dl.value, 3'500.0 + 1e-9);
+    EXPECT_LE(s.phy_rate_ul.value, 350.0 + 1e-9);
+    if (s.in_handover) {
+      EXPECT_DOUBLE_EQ(s.phy_rate_dl.value, 0.0);
+    }
+    // Latency positive and bounded by sane RAN numbers.
+    EXPECT_GT(s.air_latency.value, 0.0);
+    EXPECT_LT(s.air_latency.value, 5'000.0);
+    // KPI ranges.
+    EXPECT_GE(s.bler_dl, 0.0);
+    EXPECT_LE(s.bler_dl, 1.0);
+    EXPECT_GE(s.cell_load, 0.0);
+    EXPECT_LE(s.cell_load, 1.0);
+    if (s.connected) {
+      ++connected;
+      EXPECT_GE(s.num_cc_dl, 1);
+      EXPECT_LE(s.num_cc_dl, 8);
+      EXPECT_GE(s.num_cc_ul, 1);
+      EXPECT_LE(s.num_cc_ul, 2);
+      EXPECT_GT(s.rsrp.value, -160.0);
+      EXPECT_LT(s.rsrp.value, -20.0);
+      // AT&T idle policy: no 5G, ever (Fig. 1d).
+      if (op == OperatorId::ATT && traffic == TrafficProfile::Idle) {
+        EXPECT_FALSE(radio::is_5g(s.tech));
+      }
+    }
+    // Handover history only grows.
+    EXPECT_GE(ue.handovers().size(), ho_before);
+    ho_before = ue.handovers().size();
+  }
+  // Every operator keeps a mostly-connected UE in every environment.
+  EXPECT_GT(connected, steps / 2);
+  // HO records are time-ordered with positive durations.
+  const auto& hos = ue.handovers();
+  for (std::size_t i = 0; i < hos.size(); ++i) {
+    EXPECT_GT(hos[i].duration.value, 0.0);
+    EXPECT_LT(hos[i].duration.value, 2'000.0);
+    if (i) {
+      EXPECT_LE(hos[i - 1].time.ms_since_epoch,
+                hos[i].time.ms_since_epoch);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, UeSweep,
+    ::testing::Combine(
+        ::testing::Values(OperatorId::Verizon, OperatorId::TMobile,
+                          OperatorId::ATT),
+        ::testing::Values(TrafficProfile::Idle, TrafficProfile::BackloggedDl,
+                          TrafficProfile::BackloggedUl,
+                          TrafficProfile::Interactive),
+        ::testing::Values(Environment::Urban, Environment::Suburban,
+                          Environment::Rural)));
+
+class CubicSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CubicSweep, GoodputBoundedAndSubstantial) {
+  const auto [rtt_ms, cap_mbps] = GetParam();
+  net::CubicFlow flow(Rng(3));
+  const Millis dt{10.0};
+  double bytes = 0.0;
+  const double seconds = 30.0;
+  const int steps = static_cast<int>(seconds * 100.0);
+  const int skip = steps / 3;
+  for (int i = 0; i < steps; ++i) {
+    const double b = flow.step(dt, Mbps{cap_mbps}, Millis{rtt_ms});
+    if (i >= skip) bytes += b;
+    // The flow never conjures bandwidth.
+    EXPECT_LE(b * 8.0 / dt.seconds() / 1e6, cap_mbps * 1.001);
+  }
+  const double goodput = bytes * 8.0 / (seconds * 2.0 / 3.0) / 1e6;
+  EXPECT_LE(goodput, cap_mbps * 1.001);
+  // Steady state must realize most of the pipe at any (rtt, cap) combo.
+  EXPECT_GT(goodput, cap_mbps * 0.6)
+      << "rtt=" << rtt_ms << " cap=" << cap_mbps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RttCapacityPlane, CubicSweep,
+    ::testing::Combine(::testing::Values(15.0, 40.0, 80.0, 150.0),
+                       ::testing::Values(3.0, 25.0, 120.0, 600.0)));
+
+}  // namespace
+}  // namespace wheels

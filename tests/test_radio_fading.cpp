@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "radio/fading.h"
+
+namespace wheels::radio {
+namespace {
+
+TEST(Shadowing, StationaryVariance) {
+  ShadowingProcess sp(Rng(1), 6.0, Meters{50.0});
+  RunningStats rs;
+  for (int i = 0; i < 50'000; ++i) {
+    rs.add(sp.advance(Meters{10.0}).value);
+  }
+  EXPECT_NEAR(rs.mean(), 0.0, 0.3);
+  EXPECT_NEAR(rs.stddev(), 6.0, 0.5);
+}
+
+TEST(Shadowing, ZeroDistanceKeepsValue) {
+  ShadowingProcess sp(Rng(2), 6.0, Meters{50.0});
+  const double v = sp.advance(Meters{5.0}).value;
+  EXPECT_DOUBLE_EQ(sp.advance(Meters{0.0}).value, v);
+}
+
+TEST(Shadowing, CorrelationDecaysWithDistance) {
+  // Lag-1 autocorrelation at step d should be ~exp(-d/dcorr).
+  for (double step : {5.0, 25.0, 100.0}) {
+    ShadowingProcess sp(Rng(3), 6.0, Meters{50.0});
+    std::vector<double> xs, ys;
+    double prev = sp.advance(Meters{step}).value;
+    for (int i = 0; i < 40'000; ++i) {
+      const double cur = sp.advance(Meters{step}).value;
+      xs.push_back(prev);
+      ys.push_back(cur);
+      prev = cur;
+    }
+    const double rho = pearson(xs, ys);
+    EXPECT_NEAR(rho, std::exp(-step / 50.0), 0.05) << "step=" << step;
+  }
+}
+
+TEST(Shadowing, ForTechUsesCatalogSigma) {
+  auto sp = ShadowingProcess::for_tech(Rng(4), Tech::NR_MMWAVE,
+                                       Environment::Urban);
+  EXPECT_DOUBLE_EQ(sp.sigma_db(), shadowing_sigma_db(Tech::NR_MMWAVE,
+                                                     Environment::Urban));
+}
+
+TEST(FastFading, ZeroMeanish) {
+  FastFading ff(Rng(5), Tech::NR_MID);
+  RunningStats rs;
+  for (int i = 0; i < 50'000; ++i) rs.add(ff.sample_db().value);
+  // Slight negative skew from the deep-fade tail; mean within ~1 dB of 0.
+  EXPECT_NEAR(rs.mean(), 0.0, 1.0);
+  EXPECT_GT(rs.stddev(), 1.0);
+}
+
+TEST(FastFading, DeepFadeTailExists) {
+  FastFading ff(Rng(6), Tech::NR_MMWAVE);
+  int deep = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    if (ff.sample_db().value < -12.0) ++deep;
+  }
+  EXPECT_GT(deep, 50);  // deep fades happen
+  EXPECT_LT(deep, 4'000);  // but are not the norm
+}
+
+TEST(Blockage, OnlyAffectsMmwave) {
+  BlockageProcess bp(Rng(7), Tech::NR_MID);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_DOUBLE_EQ(bp.advance(Millis{20.0}).value, 0.0);
+    EXPECT_FALSE(bp.blocked());
+  }
+}
+
+TEST(Blockage, DutyCycleMatchesConfiguration) {
+  BlockageProcess bp(Rng(8), Tech::NR_MMWAVE);
+  int blocked = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    if (bp.advance(Millis{10.0}).value > 0.0) ++blocked;
+  }
+  // Stationary blocked fraction = 300 / (300 + 1500) = 1/6.
+  EXPECT_NEAR(static_cast<double>(blocked) / n, 1.0 / 6.0, 0.03);
+}
+
+TEST(Blockage, EpisodesAreBursty) {
+  BlockageProcess bp(Rng(9), Tech::NR_MMWAVE);
+  int transitions = 0;
+  bool prev = false;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const bool cur = bp.advance(Millis{10.0}).value > 0.0;
+    if (cur != prev) ++transitions;
+    prev = cur;
+  }
+  // Mean episode ~30-150 slots; far fewer transitions than slots.
+  EXPECT_LT(transitions, n / 20);
+  EXPECT_GT(transitions, 100);
+}
+
+}  // namespace
+}  // namespace wheels::radio

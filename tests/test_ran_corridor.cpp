@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "ran/corridor.h"
+
+namespace wheels::ran {
+namespace {
+
+using radio::Environment;
+
+std::vector<CorridorSegment> three_segments() {
+  return {
+      {Meters{0.0}, Meters{1'000.0}, Environment::Urban, TimeZone::Pacific},
+      {Meters{1'000.0}, Meters{5'000.0}, Environment::Suburban,
+       TimeZone::Pacific},
+      {Meters{5'000.0}, Meters{9'000.0}, Environment::Rural,
+       TimeZone::Mountain},
+  };
+}
+
+TEST(Corridor, LengthAndLookup) {
+  Corridor c(three_segments());
+  EXPECT_DOUBLE_EQ(c.length().value, 9'000.0);
+  EXPECT_EQ(c.at(Meters{500.0}).env, Environment::Urban);
+  EXPECT_EQ(c.at(Meters{1'500.0}).env, Environment::Suburban);
+  EXPECT_EQ(c.at(Meters{7'000.0}).env, Environment::Rural);
+  EXPECT_EQ(c.at(Meters{7'000.0}).tz, TimeZone::Mountain);
+}
+
+TEST(Corridor, BoundaryBelongsToNextSegment) {
+  Corridor c(three_segments());
+  EXPECT_EQ(c.at(Meters{1'000.0}).env, Environment::Suburban);
+}
+
+TEST(Corridor, ClampsOutOfRange) {
+  Corridor c(three_segments());
+  EXPECT_EQ(c.at(Meters{-10.0}).env, Environment::Urban);
+  EXPECT_EQ(c.at(Meters{99'999.0}).env, Environment::Rural);
+}
+
+TEST(Corridor, RejectsEmpty) {
+  EXPECT_THROW(Corridor({}), std::invalid_argument);
+}
+
+TEST(Corridor, RejectsNonZeroStart) {
+  std::vector<CorridorSegment> s{{Meters{10.0}, Meters{20.0},
+                                  Environment::Urban, TimeZone::Pacific}};
+  EXPECT_THROW(Corridor(std::move(s)), std::invalid_argument);
+}
+
+TEST(Corridor, RejectsGaps) {
+  std::vector<CorridorSegment> s{
+      {Meters{0.0}, Meters{10.0}, Environment::Urban, TimeZone::Pacific},
+      {Meters{20.0}, Meters{30.0}, Environment::Rural, TimeZone::Pacific}};
+  EXPECT_THROW(Corridor(std::move(s)), std::invalid_argument);
+}
+
+TEST(Corridor, RejectsInvertedSegment) {
+  std::vector<CorridorSegment> s{{Meters{0.0}, Meters{0.0},
+                                  Environment::Urban, TimeZone::Pacific}};
+  EXPECT_THROW(Corridor(std::move(s)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wheels::ran

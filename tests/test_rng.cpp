@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace wheels {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentAdvancement) {
+  Rng parent(7);
+  Rng child1 = parent.fork(11);
+  (void)parent.next_u64();  // advancing the parent after the fork...
+  Rng parent2(7);
+  Rng child2 = parent2.fork(11);
+  // ...must not change what an identically-derived child produces.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  }
+}
+
+TEST(Rng, ForkSaltsAndLabelsDistinguish) {
+  Rng parent(7);
+  Rng a = parent.fork(1), b = parent.fork(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Rng c = parent.fork("cell"), d = parent.fork("trip");
+  EXPECT_NE(c.next_u64(), d.next_u64());
+  Rng e = parent.fork("cell");
+  Rng f = parent.fork("cell");
+  EXPECT_EQ(e.next_u64(), f.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = r.uniform(5.0, 7.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng r(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIndexBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.uniform_index(17), 17u);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 3.0);
+    sum += x;
+    sq += (x - 10.0) * (x - 10.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(15);
+  std::vector<double> v(20'001);
+  for (auto& x : v) x = r.lognormal(std::log(50.0), 0.5);
+  std::nth_element(v.begin(), v.begin() + 10'000, v.end());
+  EXPECT_NEAR(v[10'000], 50.0, 3.0);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace wheels

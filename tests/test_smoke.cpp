@@ -1,0 +1,32 @@
+// End-to-end smoke: a short strided campaign produces sane logs.
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.h"
+#include "trip/campaign.h"
+
+namespace wheels {
+namespace {
+
+TEST(Smoke, StridedCampaignProducesLogs) {
+  trip::CampaignConfig cfg;
+  cfg.seed = 7;
+  cfg.cycle_stride = 30;  // ~3% of the cycles: fast smoke
+  trip::Campaign campaign(cfg);
+  const auto res = campaign.run();
+
+  EXPECT_GT(res.route_length.kilometers(), 5'000.0);
+  EXPECT_GE(res.days, 6);
+  for (const auto& log : res.logs) {
+    EXPECT_FALSE(log.kpi.empty());
+    EXPECT_FALSE(log.rtt.empty());
+    EXPECT_FALSE(log.passive.empty());
+    EXPECT_GT(log.unique_cells, 100u);
+    const auto shares = analysis::coverage_from_kpi(log.kpi);
+    EXPECT_NEAR(shares.share[0] + shares.share[1] + shares.share[2] +
+                    shares.share[3] + shares.share[4] + shares.share[5],
+                1.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace wheels

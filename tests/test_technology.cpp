@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "radio/technology.h"
+
+namespace wheels::radio {
+namespace {
+
+TEST(Technology, Classification) {
+  EXPECT_FALSE(is_5g(Tech::LTE));
+  EXPECT_FALSE(is_5g(Tech::LTE_A));
+  EXPECT_TRUE(is_5g(Tech::NR_LOW));
+  EXPECT_TRUE(is_5g(Tech::NR_MID));
+  EXPECT_TRUE(is_5g(Tech::NR_MMWAVE));
+
+  EXPECT_FALSE(is_high_speed(Tech::NR_LOW));
+  EXPECT_TRUE(is_high_speed(Tech::NR_MID));
+  EXPECT_TRUE(is_high_speed(Tech::NR_MMWAVE));
+  EXPECT_FALSE(is_high_speed(Tech::LTE_A));
+}
+
+TEST(Technology, Names) {
+  EXPECT_EQ(to_string(Tech::LTE), "LTE");
+  EXPECT_EQ(to_string(Tech::NR_MMWAVE), "5G-mmWave");
+}
+
+class HandoverClassification
+    : public ::testing::TestWithParam<std::tuple<Tech, Tech>> {};
+
+TEST_P(HandoverClassification, KindMatchesGenerations) {
+  const auto [from, to] = GetParam();
+  const HandoverKind k = classify_handover(from, to);
+  const bool f5 = is_5g(from), t5 = is_5g(to);
+  switch (k) {
+    case HandoverKind::FourToFour:
+      EXPECT_FALSE(f5);
+      EXPECT_FALSE(t5);
+      break;
+    case HandoverKind::FourToFive:
+      EXPECT_FALSE(f5);
+      EXPECT_TRUE(t5);
+      break;
+    case HandoverKind::FiveToFour:
+      EXPECT_TRUE(f5);
+      EXPECT_FALSE(t5);
+      break;
+    case HandoverKind::FiveToFive:
+      EXPECT_TRUE(f5);
+      EXPECT_TRUE(t5);
+      break;
+  }
+  EXPECT_EQ(is_horizontal(k), f5 == t5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, HandoverClassification,
+    ::testing::Combine(::testing::ValuesIn(kAllTechs),
+                       ::testing::ValuesIn(kAllTechs)));
+
+TEST(Technology, HandoverKindNames) {
+  EXPECT_EQ(to_string(HandoverKind::FourToFive), "4G->5G");
+  EXPECT_EQ(to_string(HandoverKind::FiveToFour), "5G->4G");
+}
+
+}  // namespace
+}  // namespace wheels::radio

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "trip/region.h"
+#include "trip/route.h"
+
+namespace wheels::trip {
+namespace {
+
+TEST(Route, CrossCountryLengthMatchesStudy) {
+  const Route r = Route::cross_country();
+  EXPECT_NEAR(r.length().kilometers(), 5'711.0, 150.0);
+}
+
+TEST(Route, TenMajorCitiesInOrder) {
+  const Route r = Route::cross_country();
+  ASSERT_EQ(r.cities().size(), 10u);
+  EXPECT_EQ(r.cities().front().name, "Los Angeles");
+  EXPECT_EQ(r.cities().back().name, "Boston");
+  for (std::size_t i = 1; i < r.cities().size(); ++i) {
+    EXPECT_GT(r.cities()[i].route_pos.value,
+              r.cities()[i - 1].route_pos.value);
+  }
+}
+
+TEST(Route, FiveWavelengthCities) {
+  const Route r = Route::cross_country();
+  int edges = 0;
+  for (const auto& c : r.cities()) {
+    if (c.has_edge_server) ++edges;
+  }
+  EXPECT_EQ(edges, 5);  // LA, Las Vegas, Denver, Chicago, Boston
+}
+
+TEST(Route, PositionInterpolation) {
+  const Route r = Route::cross_country();
+  const LatLon start = r.position_at(Meters{0.0});
+  EXPECT_NEAR(start.lat, 34.05, 1e-9);
+  const LatLon end = r.position_at(r.length());
+  EXPECT_NEAR(end.lat, 42.36, 1e-9);
+  // Past the end clamps.
+  const LatLon past = r.position_at(r.length() + Meters{1e6});
+  EXPECT_NEAR(past.lon, end.lon, 1e-9);
+}
+
+TEST(Route, CrossesAllFourTimezonesInOrder) {
+  const Route r = Route::cross_country();
+  EXPECT_EQ(r.timezone_at(Meters{0.0}), TimeZone::Pacific);
+  EXPECT_EQ(r.timezone_at(r.length()), TimeZone::Eastern);
+  int prev = -1;
+  bool saw[4] = {};
+  for (double p = 0.0; p <= r.length().value; p += 50'000.0) {
+    const int tz = static_cast<int>(r.timezone_at(Meters{p}));
+    EXPECT_GE(tz, prev);  // monotonically eastward
+    prev = tz;
+    saw[tz] = true;
+  }
+  for (bool s : saw) EXPECT_TRUE(s);
+}
+
+TEST(Route, DistanceToNearestCity) {
+  const Route r = Route::cross_country();
+  EXPECT_DOUBLE_EQ(r.distance_to_nearest_city(Meters{0.0}).value, 0.0);
+  const Meters mid{(r.cities()[0].route_pos.value +
+                    r.cities()[1].route_pos.value) / 2.0};
+  EXPECT_GT(r.distance_to_nearest_city(mid).kilometers(), 100.0);
+}
+
+TEST(Corridor, BuildCoversWholeRoute) {
+  const Route r = Route::cross_country();
+  const auto c = build_corridor(r, Rng(1));
+  EXPECT_NEAR(c.length().value, r.length().value, 2'500.0);
+}
+
+TEST(Corridor, UrbanNearCitiesRuralBetween) {
+  const Route r = Route::cross_country();
+  const auto c = build_corridor(r, Rng(2));
+  EXPECT_EQ(c.at(Meters{1'000.0}).env, radio::Environment::Urban);  // LA
+  // Deep between Las Vegas and Salt Lake City: rural unless a town.
+  double rural_km = 0.0, total_km = 0.0;
+  for (const auto& seg : c.segments()) {
+    const double len = (seg.end.value - seg.begin.value) / 1000.0;
+    total_km += len;
+    if (seg.env == radio::Environment::Rural) rural_km += len;
+  }
+  EXPECT_GT(rural_km / total_km, 0.5);  // mostly interstate
+  EXPECT_LT(rural_km / total_km, 0.95);
+}
+
+TEST(Corridor, EnvironmentMixIsPlausible) {
+  const Route r = Route::cross_country();
+  const auto c = build_corridor(r, Rng(3));
+  double urban = 0.0, total = 0.0;
+  for (const auto& seg : c.segments()) {
+    const double len = seg.end.value - seg.begin.value;
+    total += len;
+    if (seg.env == radio::Environment::Urban) urban += len;
+  }
+  EXPECT_GT(urban / total, 0.03);
+  EXPECT_LT(urban / total, 0.20);
+}
+
+TEST(Corridor, TimezonesConsistentWithRoute) {
+  const Route r = Route::cross_country();
+  const auto c = build_corridor(r, Rng(4));
+  for (double p = 10'000.0; p < c.length().value; p += 250'000.0) {
+    EXPECT_EQ(c.at(Meters{p}).tz, r.timezone_at(Meters{p}));
+  }
+}
+
+}  // namespace
+}  // namespace wheels::trip

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "trip/region.h"
+#include "trip/speed_profile.h"
+#include "trip/trip_simulator.h"
+
+namespace wheels::trip {
+namespace {
+
+using radio::Environment;
+
+TEST(SpeedProfile, ConvergesToEnvironmentTargets) {
+  SpeedProfile sp(Rng(1));
+  RunningStats rural, urban;
+  for (int i = 0; i < 40'000; ++i) {
+    rural.add(sp.step(Environment::Rural, Millis{200.0}).value);
+  }
+  for (int i = 0; i < 40'000; ++i) {
+    urban.add(sp.step(Environment::Urban, Millis{200.0}).value);
+  }
+  EXPECT_GT(rural.mean(), 50.0);
+  EXPECT_LT(urban.mean(), 25.0);
+}
+
+TEST(SpeedProfile, SpeedAlwaysInPhysicalRange) {
+  SpeedProfile sp(Rng(2));
+  for (int i = 0; i < 50'000; ++i) {
+    const auto env = i % 3 == 0 ? Environment::Urban
+                     : i % 3 == 1 ? Environment::Suburban
+                                  : Environment::Rural;
+    const Mph v = sp.step(env, Millis{100.0});
+    EXPECT_GE(v.value, 0.0);
+    EXPECT_LE(v.value, 82.0);
+  }
+}
+
+TEST(SpeedProfile, UrbanHasFullStops) {
+  SpeedProfile sp(Rng(3));
+  int stopped = 0;
+  for (int i = 0; i < 60'000; ++i) {
+    if (sp.step(Environment::Urban, Millis{200.0}).value < 1.0) ++stopped;
+  }
+  EXPECT_GT(stopped, 100);  // stoplights exist
+}
+
+TEST(TripSimulator, AdvancesMonotonically) {
+  const Route route = Route::cross_country();
+  const auto corridor = build_corridor(route, Rng(4));
+  TripSimulator trip(route, corridor, Rng(5));
+  double prev_pos = -1.0;
+  double prev_t = -1e18;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto pt = trip.advance(Millis{1'000.0});
+    EXPECT_GE(pt.position.value, prev_pos);
+    EXPECT_GT(pt.time.ms_since_epoch, prev_t);
+    prev_pos = pt.position.value;
+    prev_t = pt.time.ms_since_epoch;
+  }
+}
+
+TEST(TripSimulator, DayRolloverAfterDrivingBudget) {
+  const Route route = Route::cross_country();
+  const auto corridor = build_corridor(route, Rng(6));
+  DriveConfig cfg;
+  cfg.hours_per_day = 2.0;  // short days to see rollovers quickly
+  TripSimulator trip(route, corridor, Rng(7), cfg);
+  int max_day = 1;
+  for (int i = 0; i < 30'000 && !trip.finished(); ++i) {
+    max_day = std::max(max_day, trip.advance(Millis{1'000.0}).day);
+  }
+  EXPECT_GE(max_day, 4);
+}
+
+TEST(TripSimulator, StartsAtEightLocal) {
+  const Route route = Route::cross_country();
+  const auto corridor = build_corridor(route, Rng(8));
+  TripSimulator trip(route, corridor, Rng(9));
+  const auto pt = trip.current();
+  const CivilTime ct = to_civil(pt.time, TimeZone::Pacific);
+  EXPECT_EQ(ct.hour, 8);
+  EXPECT_EQ(ct.day, 1);
+}
+
+TEST(TripSimulator, CompletesTheRouteInAboutEightDays) {
+  const Route route = Route::cross_country();
+  const auto corridor = build_corridor(route, Rng(10));
+  TripSimulator trip(route, corridor, Rng(11));
+  // Step in 5 s chunks until done (bounded loop for safety).
+  for (int i = 0; i < 200'000 && !trip.finished(); ++i) {
+    trip.advance(Millis{5'000.0});
+  }
+  EXPECT_TRUE(trip.finished());
+  EXPECT_GE(trip.current().day, 7);
+  EXPECT_LE(trip.current().day, 12);
+  // Total wheel time plausible for 5,700 km.
+  EXPECT_GT(trip.total_drive_time().minutes() / 60.0, 55.0);
+  EXPECT_LT(trip.total_drive_time().minutes() / 60.0, 110.0);
+}
+
+TEST(TripSimulator, FinishedTripStopsAdvancing) {
+  const Route route = Route::cross_country();
+  const auto corridor = build_corridor(route, Rng(12));
+  TripSimulator trip(route, corridor, Rng(13));
+  for (int i = 0; i < 200'000 && !trip.finished(); ++i) {
+    trip.advance(Millis{5'000.0});
+  }
+  const auto end = trip.current();
+  const auto still = trip.advance(Millis{5'000.0});
+  EXPECT_DOUBLE_EQ(still.position.value, end.position.value);
+}
+
+}  // namespace
+}  // namespace wheels::trip

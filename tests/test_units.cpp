@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/units.h"
+
+namespace wheels {
+namespace {
+
+TEST(Units, MbpsConversions) {
+  const Mbps r{8.0};
+  EXPECT_DOUBLE_EQ(r.bits_per_second(), 8e6);
+  EXPECT_DOUBLE_EQ(r.bytes_per_ms(), 1000.0);
+}
+
+TEST(Units, MbpsArithmetic) {
+  EXPECT_EQ(Mbps{3.0} + Mbps{4.0}, Mbps{7.0});
+  EXPECT_EQ(Mbps{10.0} - Mbps{4.0}, Mbps{6.0});
+  EXPECT_EQ(Mbps{10.0} * 2.0, Mbps{20.0});
+  EXPECT_EQ(2.0 * Mbps{10.0}, Mbps{20.0});
+  EXPECT_DOUBLE_EQ(Mbps{10.0} / Mbps{5.0}, 2.0);
+}
+
+TEST(Units, DbmMilliwattsRoundTrip) {
+  EXPECT_NEAR(Dbm{0.0}.milliwatts(), 1.0, 1e-12);
+  EXPECT_NEAR(Dbm{30.0}.milliwatts(), 1000.0, 1e-9);
+  EXPECT_NEAR(Dbm::from_milliwatts(100.0).value, 20.0, 1e-12);
+}
+
+TEST(Units, PowerGainArithmetic) {
+  // dBm + dB = dBm; dBm - dBm = dB.
+  const Dbm tx{30.0};
+  const Db gain{15.0};
+  const Db loss{100.0};
+  const Dbm rx = tx + gain - loss;
+  EXPECT_DOUBLE_EQ(rx.value, -55.0);
+  const Db diff = tx - rx;
+  EXPECT_DOUBLE_EQ(diff.value, 85.0);
+}
+
+TEST(Units, DbLinear) {
+  EXPECT_NEAR(Db{3.0103}.linear(), 2.0, 1e-3);
+  EXPECT_NEAR(Db::from_linear(10.0).value, 10.0, 1e-12);
+}
+
+TEST(Units, MillisConversions) {
+  EXPECT_DOUBLE_EQ(Millis::from_seconds(1.5).value, 1500.0);
+  EXPECT_DOUBLE_EQ(Millis::from_minutes(2.0).value, 120'000.0);
+  EXPECT_DOUBLE_EQ(Millis::from_hours(1.0).value, 3'600'000.0);
+  EXPECT_DOUBLE_EQ(Millis{2500.0}.seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(Millis{90'000.0}.minutes(), 1.5);
+}
+
+TEST(Units, MetersConversions) {
+  EXPECT_DOUBLE_EQ(Meters::from_kilometers(2.0).value, 2000.0);
+  EXPECT_NEAR(Meters::from_miles(1.0).value, 1609.344, 1e-9);
+  EXPECT_NEAR(Meters{1609.344}.miles(), 1.0, 1e-12);
+}
+
+TEST(Units, SpeedTimesTimeIsDistance) {
+  // 60 mph for one minute is one mile.
+  const Meters d = Mph{60.0} * Millis::from_minutes(1.0);
+  EXPECT_NEAR(d.miles(), 1.0, 1e-9);
+  EXPECT_NEAR((Millis::from_minutes(1.0) * Mph{60.0}).miles(), 1.0, 1e-9);
+}
+
+TEST(Units, MphMetersPerSecond) {
+  EXPECT_NEAR(Mph{60.0}.meters_per_second(), 26.8224, 1e-4);
+  EXPECT_NEAR(Mph::from_meters_per_second(26.8224).value, 60.0, 1e-4);
+}
+
+TEST(Units, BytesTransferred) {
+  // 8 Mbps for 1 second = 1 MB.
+  EXPECT_NEAR(bytes_transferred(Mbps{8.0}, Millis::from_seconds(1.0)),
+              1e6, 1e-6);
+}
+
+TEST(Units, MHzConversions) {
+  EXPECT_DOUBLE_EQ(MHz{100.0}.hz(), 1e8);
+  EXPECT_DOUBLE_EQ(MHz::from_ghz(3.5).value, 3500.0);
+  EXPECT_DOUBLE_EQ(MHz{28'000.0}.ghz(), 28.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Mbps{1.0}, Mbps{2.0});
+  EXPECT_GT(Dbm{-70.0}, Dbm{-90.0});
+  EXPECT_LE(Millis{5.0}, Millis{5.0});
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << Mbps{12.5} << ", " << Dbm{-80.0} << ", " << Millis{3.0};
+  EXPECT_EQ(os.str(), "12.5 Mbps, -80 dBm, 3 ms");
+}
+
+}  // namespace
+}  // namespace wheels

@@ -37,9 +37,9 @@ int main(int argc, char** argv) {
       t.add_row({std::string(to_string(log.op)),
                  std::to_string(impacts.size()),
                  fmt(percentile(d1, 50), 1),
-                 fmt(100.0 * neg1 / impacts.size(), 1),
+                 fmt(100.0 * neg1 / static_cast<double>(impacts.size()), 1),
                  fmt(percentile(d2, 50), 1),
-                 fmt(100.0 * pos2 / impacts.size(), 1),
+                 fmt(100.0 * pos2 / static_cast<double>(impacts.size()), 1),
                  fmt(percentile(d2, 100), 1)});
     }
     t.print(std::cout);
@@ -64,7 +64,9 @@ int main(int argc, char** argv) {
     }
     tk.add_row({std::string(to_string(kind)), std::to_string(v.size()),
                 fmt(percentile(v, 50), 1),
-                fmt(v.empty() ? 0.0 : 100.0 * pos / v.size(), 1)});
+                fmt(v.empty() ? 0.0
+                              : 100.0 * pos / static_cast<double>(v.size()),
+                    1)});
   }
   tk.print(std::cout);
   bench::paper_note("5G->4G mostly lowers post-HO throughput; 4G->5G "

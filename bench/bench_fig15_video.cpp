@@ -30,7 +30,10 @@ int main(int argc, char** argv) {
     }
     t.add_row({std::string(to_string(op)), std::to_string(qoe.size()),
                fmt(percentile(qoe, 50), 1), fmt(percentile(qoe, 0), 1),
-               fmt(qoe.empty() ? 0.0 : 100.0 * neg / qoe.size(), 1),
+               fmt(qoe.empty()
+                       ? 0.0
+                       : 100.0 * neg / static_cast<double>(qoe.size()),
+                   1),
                fmt(percentile(br, 50), 1), fmt(percentile(reb, 50), 1),
                fmt(percentile(reb, 100), 1)});
   }

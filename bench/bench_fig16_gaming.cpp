@@ -30,7 +30,10 @@ int main(int argc, char** argv) {
     }
     t.add_row({std::string(to_string(op)), std::to_string(br.size()),
                fmt(percentile(br, 50), 1), fmt(percentile(lat, 50), 1),
-               fmt(lat.empty() ? 0.0 : 100.0 * high / lat.size(), 1),
+               fmt(lat.empty()
+                       ? 0.0
+                       : 100.0 * high / static_cast<double>(lat.size()),
+                   1),
                fmt(percentile(drop, 50), 2), fmt(percentile(drop, 100), 2)});
   }
   t.print(std::cout);

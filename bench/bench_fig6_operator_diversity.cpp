@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
           if (d < 0.0) ++upsets;
         }
         std::cout << "  " << to_string(a) << " HT loses to " << to_string(b)
-                  << " LT in " << fmt(100.0 * upsets / htlt.size(), 1)
+                  << " LT in "
+                  << fmt(100.0 * upsets / static_cast<double>(htlt.size()), 1)
                   << "% of HT-LT samples\n";
       }
     }

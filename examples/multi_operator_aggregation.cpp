@@ -52,20 +52,28 @@ int main(int argc, char** argv) {
   tab.add_row_values("best single operator",
                      {percentile(best, 25), percentile(best, 50),
                       percentile(best, 75),
-                      best.empty() ? 0.0 : 100.0 * dead_single / best.size()},
+                      best.empty()
+                          ? 0.0
+                          : 100.0 * dead_single /
+                                static_cast<double>(best.size())},
                      1);
   tab.add_row_values("MPTCP across all three",
                      {percentile(bonded, 25), percentile(bonded, 50),
                       percentile(bonded, 75),
-                      bonded.empty() ? 0.0
-                                     : 100.0 * dead_bonded / bonded.size()},
+                      bonded.empty()
+                          ? 0.0
+                          : 100.0 * dead_bonded /
+                                static_cast<double>(bonded.size())},
                      1);
   tab.print(std::cout);
 
   std::cout << "\nEven the *best* single subscription is below 5 Mbps "
-            << fmt(100.0 * dead_single / std::max<size_t>(1, best.size()), 1)
+            << fmt(100.0 * dead_single /
+                       static_cast<double>(std::max<size_t>(1, best.size())),
+                   1)
             << "% of the time; bonding all three cuts that to "
-            << fmt(100.0 * dead_bonded / std::max<size_t>(1, bonded.size()),
+            << fmt(100.0 * dead_bonded /
+                       static_cast<double>(std::max<size_t>(1, bonded.size())),
                    1)
             << "% -- operator outages are largely uncorrelated.\n";
   return 0;

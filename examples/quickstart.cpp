@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
         std::string(to_string(log.op)),
         {percentile(dls, 50), percentile(dls, 75), percentile(uls, 50),
          percentile(uls, 75), percentile(rtts, 50),
-         dls.empty() ? 0.0 : 100.0 * below5 / dls.size()},
+         dls.empty() ? 0.0
+                     : 100.0 * below5 / static_cast<double>(dls.size())},
         1);
   }
   std::cout << "Technology coverage (% of miles, active tests):\n";

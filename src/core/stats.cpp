@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace wheels {
@@ -47,8 +48,13 @@ double RunningStats::cv_percent() const {
 }
 
 double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty() || std::isnan(p)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   std::vector<double> v(xs.begin(), xs.end());
+  for (double x : v) {
+    if (std::isnan(x)) return std::numeric_limits<double>::quiet_NaN();
+  }
   std::sort(v.begin(), v.end());
   if (p <= 0.0) return v.front();
   if (p >= 100.0) return v.back();

@@ -2,12 +2,35 @@
 // CDFs, Pearson correlation, running moments, and histograms.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace wheels {
+
+// Epsilon comparison helpers. wheels_lint bans direct floating-point ==/!=
+// in the analysis and radio layers (a bit-exact match on a derived double is
+// almost always a latent nondeterminism or porting bug); these are the
+// sanctioned replacements. `tol` is applied both absolutely (near zero) and
+// relative to the larger magnitude.
+[[nodiscard]] inline bool approx_equal(double a, double b,
+                                       double tol = 1e-9) {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (a == b) return true;  // exact hit, covers equal infinities
+  // Unequal infinities (or inf vs finite) must not satisfy the relative
+  // test via tol * inf = inf.
+  if (std::isinf(a) || std::isinf(b)) return false;
+  const double diff = std::abs(a - b);
+  return diff <= tol ||
+         diff <= tol * std::fmax(std::abs(a), std::abs(b));
+}
+
+[[nodiscard]] inline bool approx_zero(double a, double tol = 1e-9) {
+  return std::abs(a) <= tol;
+}
 
 // Running mean / variance (Welford). Numerically stable for the millions of
 // 500 ms samples a campaign produces.
@@ -20,6 +43,8 @@ class RunningStats {
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;  // population variance
   [[nodiscard]] double stddev() const;
+  // NaN when no samples have been added: an empty window has no extrema,
+  // and a silent 0.0 poisons downstream mins/maxes.
   [[nodiscard]] double min() const { return min_; }
   [[nodiscard]] double max() const { return max_; }
   // Coefficient of variation as a percentage (the paper's "std. dev. as a
@@ -30,13 +55,15 @@ class RunningStats {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
 };
 
 // Percentile of a sample set using linear interpolation between closest
 // ranks (the "exclusive" R-7 definition used by numpy.percentile default).
-// p in [0, 100]. The input need not be sorted.
+// p in [0, 100]. The input need not be sorted. An empty input, a NaN in the
+// input, or a NaN p yields NaN: sorting NaNs breaks strict weak ordering,
+// so rejecting them explicitly beats returning an arbitrary rank.
 [[nodiscard]] double percentile(std::span<const double> xs, double p);
 
 // Convenience: median.

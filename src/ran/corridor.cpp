@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/stats.h"
+
 namespace wheels::ran {
 
 Corridor::Corridor(std::vector<CorridorSegment> segments)
@@ -9,14 +11,15 @@ Corridor::Corridor(std::vector<CorridorSegment> segments)
   if (segments_.empty()) {
     throw std::invalid_argument("Corridor: no segments");
   }
-  if (segments_.front().begin.value != 0.0) {
+  if (!approx_zero(segments_.front().begin.value)) {
     throw std::invalid_argument("Corridor: must start at 0");
   }
   for (std::size_t i = 0; i < segments_.size(); ++i) {
     if (!(segments_[i].end > segments_[i].begin)) {
       throw std::invalid_argument("Corridor: empty or inverted segment");
     }
-    if (i && segments_[i].begin.value != segments_[i - 1].end.value) {
+    if (i && !approx_equal(segments_[i].begin.value,
+                           segments_[i - 1].end.value)) {
       throw std::invalid_argument("Corridor: segments not contiguous");
     }
   }

@@ -1,0 +1,21 @@
+// Fixture: inline allow() comments must suppress findings, same-line or
+// on the line directly above.
+#include "analysis/suppressed.h"
+
+namespace wheels::analysis {
+
+bool exact_sentinel(double x) {
+  return x == -1.0;  // wheels-lint: allow(float-eq)
+}
+
+bool exact_zero(double x) {
+  // wheels-lint: allow(float-eq)
+  return x == 0.0;
+}
+
+// An allow for a DIFFERENT rule must not suppress float-eq.
+bool still_fires(double x) {
+  return x == 0.25;  // wheels-lint: allow(banned-random)
+}
+
+}  // namespace wheels::analysis

@@ -1,0 +1,13 @@
+// Fixture: core/rng.* is allowlisted -- raw entropy here must NOT fire.
+#include <random>
+
+#include "core/rng.h"
+
+namespace wheels {
+
+unsigned hardware_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace wheels

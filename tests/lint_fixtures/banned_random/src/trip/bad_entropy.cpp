@@ -1,0 +1,21 @@
+// Fixture: every banned entropy / wall-clock source outside the blessed
+// core/rng.* and core/sim_time.* wrappers must fire banned-random.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+#include "trip/bad_entropy.h"
+
+namespace wheels::trip {
+
+int bad_seed() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  const auto now = std::chrono::system_clock::now();
+  (void)now;
+  return std::rand() + static_cast<int>(gen());
+}
+
+}  // namespace wheels::trip

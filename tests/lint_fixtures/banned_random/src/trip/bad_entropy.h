@@ -1,0 +1,7 @@
+#pragma once
+
+namespace wheels::trip {
+
+int bad_seed();
+
+}  // namespace wheels::trip

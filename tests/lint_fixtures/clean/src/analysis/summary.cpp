@@ -1,0 +1,13 @@
+#include "analysis/summary.h"
+
+#include "core/stats.h"
+
+namespace wheels::analysis {
+
+// Epsilon comparisons are the sanctioned way to compare derived doubles.
+bool same_bin(double a, double b) { return approx_equal(a, b, 1e-6); }
+
+// Inequalities on float literals are fine; only ==/!= are banned.
+bool loaded(double frac) { return frac >= 0.75; }
+
+}  // namespace wheels::analysis

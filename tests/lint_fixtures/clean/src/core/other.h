@@ -1,0 +1,11 @@
+#pragma once
+
+namespace wheels {
+
+// Mentions of std::mt19937 or time(nullptr) inside comments or string
+// literals must NOT fire banned-random: the linter strips both.
+inline const char* banned_tokens_in_string() {
+  return "std::rand time(nullptr) std::random_device";
+}
+
+}  // namespace wheels

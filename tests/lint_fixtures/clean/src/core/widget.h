@@ -1,0 +1,12 @@
+// A fixture file that satisfies every wheels-lint rule.
+#pragma once
+
+#include "core/other.h"
+
+namespace wheels {
+
+struct Widget {
+  double value = 0.0;
+};
+
+}  // namespace wheels

@@ -1,0 +1,14 @@
+// Fixture: direct floating-point ==/!= in the analysis layer must fire.
+#include "analysis/bad_compare.h"
+
+namespace wheels::analysis {
+
+bool at_origin(double x) { return x == 0.0; }
+
+bool not_half(double x) { return x != 0.5; }
+
+bool scientific(double x) { return 1e-3 == x; }
+
+bool single_precision(float x) { return x == 2.5f; }
+
+}  // namespace wheels::analysis

@@ -1,0 +1,8 @@
+// Fixture: the float-eq rule also covers src/radio/.
+#include "radio/bad_compare_radio.h"
+
+namespace wheels::radio {
+
+bool full_load(double load) { return load == 1.0; }
+
+}  // namespace wheels::radio

@@ -1,0 +1,9 @@
+// Fixture: float ==/!= outside src/analysis and src/radio is NOT in scope
+// for the float-eq rule (core/trip/etc. own their exact-comparison guards).
+#include "trip/outside_scope.h"
+
+namespace wheels::trip {
+
+bool exact_guard(double x) { return x == 0.0; }
+
+}  // namespace wheels::trip

@@ -1,0 +1,13 @@
+// Fixture: non-module-qualified and parent-relative includes must fire
+// include-hygiene; module-qualified ones must not.
+#include "band.h"
+#include "../core/rng.h"
+#include "nosuchmodule/header.h"
+
+#include "radio/bad_includes.h"
+
+namespace wheels::radio {
+
+int ok() { return 1; }
+
+}  // namespace wheels::radio

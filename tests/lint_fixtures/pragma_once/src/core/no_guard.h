@@ -1,0 +1,9 @@
+// Fixture: header without #pragma once must fire pragma-once.
+
+namespace wheels {
+
+struct Unguarded {
+  int x = 0;
+};
+
+}  // namespace wheels

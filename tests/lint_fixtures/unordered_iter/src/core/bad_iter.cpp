@@ -1,0 +1,37 @@
+// Fixture: range-for over an unordered container must fire unordered-iter.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/bad_iter.h"
+
+namespace wheels {
+
+double sum_table(const std::unordered_map<std::string, double>& cells) {
+  double total = 0.0;
+  for (const auto& [name, value] : cells) {
+    total += value;
+  }
+  return total;
+}
+
+int count_set() {
+  std::unordered_set<int> ids = {3, 1, 2};
+  int n = 0;
+  for (int id : ids) {
+    n += id;
+  }
+  return n;
+}
+
+// Iterating a vector is fine.
+double sum_vector(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) {
+    total += x;
+  }
+  return total;
+}
+
+}  // namespace wheels

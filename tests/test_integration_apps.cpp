@@ -127,7 +127,8 @@ TEST_F(AppsIntegration, VideoQoeSuffersWhileDriving) {
     }
     ASSERT_GT(qoe.size(), 5u);
     // Paper: ~40% of runs have negative QoE; median way below static 96.
-    EXPECT_GT(static_cast<double>(negative) / qoe.size(), 0.2)
+    EXPECT_GT(static_cast<double>(negative) / static_cast<double>(qoe.size()),
+              0.2)
         << to_string(op);
     EXPECT_LT(median(qoe), 40.0);
   }

@@ -228,7 +228,7 @@ TEST_F(CampaignIntegration, HandoverImpactMostlyNegativeDuringHo) {
     }
   }
   ASSERT_GT(total, 50u);
-  EXPECT_GT(static_cast<double>(neg) / total, 0.6);
+  EXPECT_GT(static_cast<double>(neg) / static_cast<double>(total), 0.6);
 }
 
 TEST_F(CampaignIntegration, StaticBaselineBeatsDrivingByOrders) {

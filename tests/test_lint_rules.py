@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Tests for tools/wheels_lint.py.
+
+Each fixture directory under tests/lint_fixtures/ is a miniature repo
+(src/<module>/...) run through the linter with --root. A rule only counts
+as enforced if it (a) fires on the violating snippet at the expected
+location and (b) stays quiet on the adjacent compliant code.
+
+Run directly (python3 tests/test_lint_rules.py) or via ctest.
+"""
+
+import os
+import subprocess
+import sys
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TESTS_DIR)
+LINT = os.path.join(REPO_ROOT, "tools", "wheels_lint.py")
+FIXTURES = os.path.join(TESTS_DIR, "lint_fixtures")
+
+
+def run_lint(fixture, *extra):
+    root = os.path.join(FIXTURES, fixture)
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", root, "--no-format", *extra],
+        capture_output=True,
+        text=True,
+        check=False)
+    return proc.returncode, proc.stdout
+
+
+class CleanFixture(unittest.TestCase):
+    def test_clean_tree_passes(self):
+        code, out = run_lint("clean")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_tokens_in_comments_and_strings_do_not_fire(self):
+        # clean/ contains banned tokens inside comments and string
+        # literals; a naive grep would flag them.
+        code, out = run_lint("clean")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("banned-random", out)
+
+
+class BannedRandom(unittest.TestCase):
+    def test_all_banned_sources_fire(self):
+        code, out = run_lint("banned_random")
+        self.assertEqual(code, 1, out)
+        bad = "src/trip/bad_entropy.cpp"
+        for token in ("std::random_device", "std::mt19937", "std::rand",
+                      "time(nullptr)", "std::chrono::system_clock"):
+            self.assertIn(token, out, f"{token} did not fire")
+        self.assertIn(bad, out)
+
+    def test_core_rng_is_allowlisted(self):
+        _, out = run_lint("banned_random")
+        self.assertNotIn("src/core/rng.cpp", out)
+
+
+class FloatEq(unittest.TestCase):
+    def test_direct_comparisons_fire(self):
+        code, out = run_lint("float_eq")
+        self.assertEqual(code, 1, out)
+        # Four sites in analysis (==0.0, !=0.5, 1e-3==, ==2.5f), one in
+        # radio.
+        self.assertEqual(out.count("bad_compare.cpp"), 4, out)
+        self.assertIn("bad_compare_radio.cpp", out)
+
+    def test_rule_scoped_to_analysis_and_radio(self):
+        _, out = run_lint("float_eq")
+        self.assertNotIn("outside_scope.cpp", out)
+
+
+class UnorderedIter(unittest.TestCase):
+    def test_range_for_over_unordered_fires(self):
+        code, out = run_lint("unordered_iter")
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("unordered-iter"), 2, out)
+
+    def test_vector_iteration_is_fine(self):
+        _, out = run_lint("unordered_iter")
+        # Only the two unordered loops, not the vector loop at line 29+.
+        self.assertNotIn(":31:", out)
+
+
+class PragmaOnce(unittest.TestCase):
+    def test_missing_pragma_fires(self):
+        code, out = run_lint("pragma_once")
+        self.assertEqual(code, 1, out)
+        self.assertIn("no_guard.h", out)
+        self.assertIn("pragma-once", out)
+
+
+class IncludeHygiene(unittest.TestCase):
+    def test_bad_includes_fire(self):
+        code, out = run_lint("include_hygiene")
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("include-hygiene"), 3, out)
+        self.assertIn('"band.h"', out)
+        self.assertIn('"../core/rng.h"', out)
+        self.assertIn('"nosuchmodule/header.h"', out)
+
+    def test_module_qualified_include_is_fine(self):
+        _, out = run_lint("include_hygiene")
+        self.assertNotIn('"radio/bad_includes.h"', out)
+
+
+class AllowSuppression(unittest.TestCase):
+    def test_allow_comment_suppresses_same_and_previous_line(self):
+        code, out = run_lint("allow_suppression")
+        # The two allowed sites are silent; the mismatched-rule site fires.
+        self.assertEqual(code, 1, out)
+        self.assertEqual(out.count("float-eq"), 1, out)
+        self.assertIn(":18:", out)
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_real_repo_passes(self):
+        proc = subprocess.run(
+            [sys.executable, LINT, "--root", REPO_ROOT, "--no-format"],
+            capture_output=True,
+            text=True,
+            check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -56,7 +56,8 @@ TEST(Ue, AttachesAndProducesSaneSamples) {
     EXPECT_LE(s.cell_load, 1.0);
   }
   // Suburban LTE blanket: connected nearly always.
-  EXPECT_GT(connected, static_cast<int>(samples.size() * 0.8));
+  EXPECT_GT(connected,
+            static_cast<int>(static_cast<double>(samples.size()) * 0.8));
 }
 
 TEST(Ue, HandoversOccurWhileDriving) {

@@ -64,8 +64,8 @@ INSTANTIATE_TEST_SUITE_P(AllZones, CivilRoundTrip,
                                            TimeZone::Mountain,
                                            TimeZone::Central,
                                            TimeZone::Eastern),
-                         [](const auto& info) {
-                           return std::string(to_string(info.param));
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
                          });
 
 TEST(CivilTime, RoundingCarryDoesNotProduce1000ms) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/rng.h"
 #include "core/stats.h"
 
@@ -24,6 +27,28 @@ TEST(RunningStats, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
   EXPECT_DOUBLE_EQ(rs.cv_percent(), 0.0);
+}
+
+TEST(RunningStats, EmptyExtremaAreNaN) {
+  // An empty window has no extrema; a silent 0.0 used to poison
+  // downstream min/max aggregation.
+  RunningStats rs;
+  EXPECT_TRUE(std::isnan(rs.min()));
+  EXPECT_TRUE(std::isnan(rs.max()));
+  rs.add(-3.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), -3.0);
+}
+
+TEST(RunningStats, MergeEmptyKeepsExtremaNaN) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_TRUE(std::isnan(a.min()));
+  EXPECT_TRUE(std::isnan(a.max()));
+  b.add(2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
 }
 
 TEST(RunningStats, MergeMatchesSequential) {
@@ -67,9 +92,31 @@ TEST(Percentile, UnsortedInput) {
   EXPECT_DOUBLE_EQ(median(v), 3.0);
 }
 
-TEST(Percentile, EmptyAndSingle) {
-  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+TEST(Percentile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile(std::vector<double>{}, 50.0)));
+  EXPECT_TRUE(std::isnan(median(std::vector<double>{})));
   EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, NanInputsAreRejected) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(percentile(std::vector<double>{1.0, nan, 3.0}, 50.0)));
+  EXPECT_TRUE(std::isnan(percentile(std::vector<double>{1.0, 2.0}, nan)));
+}
+
+TEST(ApproxEqual, ToleratesRoundoffButNotRealDifferences) {
+  EXPECT_TRUE(approx_equal(0.1 + 0.2, 0.3));
+  EXPECT_TRUE(approx_equal(1e12, 1e12 * (1.0 + 1e-12)));
+  EXPECT_FALSE(approx_equal(1.0, 1.0001));
+  EXPECT_FALSE(approx_equal(0.0, 1e-3));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(approx_equal(nan, nan));
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(approx_equal(inf, inf));
+  EXPECT_FALSE(approx_equal(inf, -inf));
+  EXPECT_TRUE(approx_zero(0.0));
+  EXPECT_TRUE(approx_zero(-1e-12));
+  EXPECT_FALSE(approx_zero(1e-3));
 }
 
 TEST(Pearson, PerfectCorrelation) {

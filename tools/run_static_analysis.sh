@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CI entry point for the static-analysis & dynamic-checking gates.
+#
+# Stages (each independently skippable via env toggles, all default ON):
+#   1. wheels-lint       determinism/hygiene linter + its own rule tests
+#   2. werror build      expanded warning set promoted to errors
+#   3. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
+#   4. clang-tidy        only when clang-tidy is installed (optional stage)
+#
+# Usage: tools/run_static_analysis.sh [--quick]
+#   --quick     skip the sanitizer ctest run (stages 1-2 only)
+#
+# Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_WERROR=0, WHEELS_CI_SANITIZE=0,
+#              WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="${WHEELS_CI_JOBS:-$(nproc)}"
+FAILURES=0
+
+banner() { printf '\n=== %s ===\n' "$1"; }
+
+# --- Stage 1: determinism linter -------------------------------------------
+if [[ "${WHEELS_CI_LINT:-1}" == 1 ]]; then
+  banner "wheels-lint: rule self-tests"
+  python3 tests/test_lint_rules.py || FAILURES=$((FAILURES + 1))
+  banner "wheels-lint: full repo"
+  python3 tools/wheels_lint.py --root "$ROOT" || FAILURES=$((FAILURES + 1))
+fi
+
+# --- Stage 2: warnings-as-errors build -------------------------------------
+if [[ "${WHEELS_CI_WERROR:-1}" == 1 ]]; then
+  banner "werror build (-Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast)"
+  cmake --preset werror >/dev/null
+  cmake --build --preset werror -j "$JOBS" || FAILURES=$((FAILURES + 1))
+fi
+
+# --- Stage 3: sanitizer-clean test suite -----------------------------------
+if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
+  banner "asan-ubsan build + ctest"
+  cmake --preset asan-ubsan >/dev/null
+  cmake --build --preset asan-ubsan -j "$JOBS" || FAILURES=$((FAILURES + 1))
+  # halt_on_error + exitcode make any report fail the suite; UBSan is
+  # additionally built no-recover so it traps at the first finding.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1:exitcode=99" \
+  UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1" \
+    ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
+fi
+
+# --- Stage 4: clang-tidy (best effort: optional in the container) ----------
+if [[ "${WHEELS_CI_TIDY:-1}" == 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    banner "clang-tidy"
+    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    mapfile -t TIDY_SRCS < <(find src -name '*.cpp' | sort)
+    clang-tidy -p build --quiet "${TIDY_SRCS[@]}" || FAILURES=$((FAILURES + 1))
+  else
+    echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  fi
+fi
+
+banner "summary"
+if [[ "$FAILURES" -gt 0 ]]; then
+  echo "static analysis FAILED: $FAILURES stage(s) reported problems"
+  exit 1
+fi
+echo "static analysis OK"

@@ -1,0 +1,415 @@
+#!/usr/bin/env python3
+"""wheels-lint: repo-specific determinism and hygiene linter.
+
+The reproduction's whole value is bit-for-bit regenerable figures: every
+stochastic process forks from the campaign Rng, and every timestamp derives
+from SimClock. No off-the-shelf checker knows that contract, so this tool
+enforces it mechanically:
+
+  banned-random     std::rand / time(nullptr) / std::random_device /
+                    std::mt19937 / std::chrono::system_clock anywhere except
+                    src/core/rng.* and src/core/sim_time.* (the two blessed
+                    wrappers). Ambient entropy or wall clocks anywhere else
+                    silently break regeneration.
+  float-eq          direct ==/!= against floating-point literals in
+                    src/analysis/ and src/radio/. Derived doubles must be
+                    compared through approx_equal()/approx_zero() from
+                    core/stats.h; bit-exact matches are latent porting bugs.
+  unordered-iter    range-for iteration over a std::unordered_* container.
+                    Iteration order is hash-seed and libstdc++-version
+                    dependent, so anything it feeds (output tables, summed
+                    floats) is nondeterministic. Iterate a sorted view or use
+                    std::map.
+  pragma-once       every header must start its include guard with
+                    #pragma once.
+  include-hygiene   quoted includes in src/ must be module-qualified
+                    ("core/rng.h", not "rng.h" or "../core/rng.h") so a file
+                    never silently picks up a same-named header from its own
+                    directory.
+  format            clang-format --dry-run check (skipped with a notice when
+                    clang-format is not installed).
+
+Suppress a finding by putting `// wheels-lint: allow(<rule>)` on the same
+line or the line directly above it.
+
+Usage:
+  tools/wheels_lint.py [--root DIR] [--no-format] [--list-rules]
+
+Exits 0 when clean, 1 when any finding fires, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+from dataclasses import dataclass
+
+SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
+CPP_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
+SKIP_DIR_PARTS = ("build", "lint_fixtures")
+
+# Files allowed to touch raw entropy / wall-clock primitives.
+BANNED_RANDOM_ALLOWLIST = (
+    "src/core/rng.h",
+    "src/core/rng.cpp",
+    "src/core/sim_time.h",
+    "src/core/sim_time.cpp",
+)
+
+BANNED_RANDOM_TOKENS = (
+    (re.compile(r"\bstd\s*::\s*rand\b"), "std::rand"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"\bstd\s*::\s*mt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bstd\s*::\s*minstd_rand0?\b"), "std::minstd_rand"),
+    (re.compile(r"\bstd\s*::\s*default_random_engine\b"),
+     "std::default_random_engine"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time(nullptr)"),
+    (re.compile(r"\bstd\s*::\s*chrono\s*::\s*system_clock\b"),
+     "std::chrono::system_clock"),
+    (re.compile(r"\bstd\s*::\s*chrono\s*::\s*high_resolution_clock\b"),
+     "std::chrono::high_resolution_clock"),
+)
+
+FLOAT_EQ_DIRS = ("src/analysis/", "src/radio/")
+FLOAT_LITERAL = r"[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?[fF]?|\.[0-9]+(?:[eE][+-]?[0-9]+)?[fF]?|[0-9]+[eE][+-]?[0-9]+[fF]?"
+FLOAT_EQ_RE = re.compile(
+    r"(?<![<>=!&|+\-*/%^])(?:==|!=)\s*[+-]?(?:{lit})(?![\w.])"
+    r"|(?:{lit})\s*(?:==|!=)(?![=])".format(lit=FLOAT_LITERAL))
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*([^)]+)\)")
+
+PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+ALLOW_RE = re.compile(r"//\s*wheels-lint:\s*allow\(([a-z\-, ]+)\)")
+
+RULES = {
+    "banned-random":
+        "ambient entropy / wall-clock source outside core/rng, core/sim_time",
+    "float-eq":
+        "direct floating-point ==/!= in analysis or radio layers",
+    "unordered-iter":
+        "iteration over unordered container (nondeterministic order)",
+    "pragma-once":
+        "header missing #pragma once",
+    "include-hygiene":
+        "quoted include is not module-qualified repo-relative",
+    "format":
+        "clang-format --dry-run reported a diff",
+}
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line
+    structure so reported line numbers stay meaningful."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i = min(i + 2, n)
+        elif c == "R" and nxt == '"':
+            # Raw string literal: R"delim( ... )delim"
+            m = re.match(r'R"([^(\s]*)\(', text[i:])
+            if m:
+                end = text.find(f"){m.group(1)}\"", i + m.end())
+                if end == -1:
+                    end = n
+                out.append("\n" * text.count("\n", i, end))
+                i = end + len(m.group(1)) + 2
+            else:
+                out.append(c)
+                i += 1
+        elif c == '"':
+            # Preserve the quoted path of an #include directive; blank out
+            # every other string literal.
+            line_start = text.rfind("\n", 0, i) + 1
+            is_include = re.match(r'\s*#\s*include\s*$', text[line_start:i])
+            start = i
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            if is_include:
+                out.append(text[start:i])
+        elif c == "'":
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_allows(raw_lines: list[str]) -> dict[int, set[str]]:
+    """Line number (1-based) -> rules allowed there. An allow comment covers
+    its own line and the next line (so it can sit above the finding)."""
+    allows: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        allows.setdefault(idx, set()).update(rules)
+        allows.setdefault(idx + 1, set()).update(rules)
+    return allows
+
+
+def rel(path: str, root: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def check_banned_random(relpath: str, lines: list[str]) -> list[Finding]:
+    if relpath in BANNED_RANDOM_ALLOWLIST:
+        return []
+    findings = []
+    for idx, line in enumerate(lines, start=1):
+        for pattern, name in BANNED_RANDOM_TOKENS:
+            if pattern.search(line):
+                findings.append(
+                    Finding(
+                        relpath, idx, "banned-random",
+                        f"{name} is banned: draw from the campaign Rng "
+                        "(core/rng.h) or SimClock (core/sim_time.h) so runs "
+                        "stay bit-for-bit reproducible"))
+    return findings
+
+
+def check_float_eq(relpath: str, lines: list[str]) -> list[Finding]:
+    if not relpath.startswith(FLOAT_EQ_DIRS):
+        return []
+    findings = []
+    for idx, line in enumerate(lines, start=1):
+        if FLOAT_EQ_RE.search(line):
+            findings.append(
+                Finding(
+                    relpath, idx, "float-eq",
+                    "direct floating-point ==/!= comparison: use "
+                    "approx_equal()/approx_zero() from core/stats.h"))
+    return findings
+
+
+def check_unordered_iter(relpath: str, lines: list[str]) -> list[Finding]:
+    # Names declared (anywhere in this file) with an unordered container
+    # type. Textual, not type-aware -- good enough for this codebase, and
+    # false positives can be suppressed inline.
+    unordered_names: set[str] = set()
+    decl_after = re.compile(
+        r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
+        r"[^;{}]*?>\s*&?\s*(\w+)\s*[;={(,)]")
+    for line in lines:
+        if UNORDERED_DECL_RE.search(line):
+            for m in decl_after.finditer(line):
+                unordered_names.add(m.group(1))
+    findings = []
+    for idx, line in enumerate(lines, start=1):
+        m = RANGE_FOR_RE.search(line)
+        if not m:
+            continue
+        target = m.group(1).strip()
+        base = re.split(r"[.\->\[(]", target)[-1] or target
+        candidates = {target, target.split(".")[-1].strip(),
+                      target.split("->")[-1].strip(), base.strip()}
+        if candidates & unordered_names:
+            findings.append(
+                Finding(
+                    relpath, idx, "unordered-iter",
+                    f"range-for over unordered container '{target}': "
+                    "iteration order is hash-dependent; copy to a sorted "
+                    "vector or use std::map before feeding output"))
+    return findings
+
+
+def check_pragma_once(relpath: str, text: str) -> list[Finding]:
+    if not relpath.endswith((".h", ".hpp")):
+        return []
+    if PRAGMA_ONCE_RE.search(text):
+        return []
+    return [
+        Finding(relpath, 1, "pragma-once",
+                "header is missing #pragma once")
+    ]
+
+
+def check_include_hygiene(relpath: str, text: str,
+                          module_dirs: set[str]) -> list[Finding]:
+    if not relpath.startswith("src/"):
+        return []
+    findings = []
+    for m in INCLUDE_RE.finditer(text):
+        inc = m.group(1)
+        line = text.count("\n", 0, m.start()) + 1
+        if ".." in inc.split("/"):
+            findings.append(
+                Finding(
+                    relpath, line, "include-hygiene",
+                    f'include "{inc}" uses a parent-relative path; use the '
+                    'module-qualified form ("<module>/<header>.h")'))
+        elif "/" not in inc:
+            findings.append(
+                Finding(
+                    relpath, line, "include-hygiene",
+                    f'include "{inc}" is not module-qualified; write '
+                    f'"{relpath.split("/")[1]}/{inc}" so the header resolves '
+                    "identically from every translation unit"))
+        elif module_dirs and inc.split("/")[0] not in module_dirs:
+            findings.append(
+                Finding(
+                    relpath, line, "include-hygiene",
+                    f'include "{inc}" does not name a known src module '
+                    f"({', '.join(sorted(module_dirs))})"))
+    return findings
+
+
+def check_format(root: str, files: list[str]) -> tuple[list[Finding], bool]:
+    """Returns (findings, ran). Skips gracefully when clang-format or the
+    .clang-format config is unavailable."""
+    clang_format = shutil.which("clang-format")
+    if clang_format is None:
+        return [], False
+    if not os.path.exists(os.path.join(root, ".clang-format")):
+        return [], False
+    findings = []
+    for path in files:
+        proc = subprocess.run(
+            [clang_format, "--dry-run", "-Werror", "--style=file", path],
+            capture_output=True,
+            text=True,
+            cwd=root,
+            check=False)
+        if proc.returncode != 0:
+            first = (proc.stderr.strip().splitlines() or ["formatting diff"])[0]
+            lm = re.search(r":(\d+):", first)
+            findings.append(
+                Finding(
+                    rel(path, root), int(lm.group(1)) if lm else 1, "format",
+                    "clang-format --dry-run reports a diff (run clang-format "
+                    "-i to fix)"))
+    return findings, True
+
+
+def lint_file(path: str, root: str, module_dirs: set[str]) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        raw = f.read()
+    relpath = rel(path, root)
+    allows = collect_allows(raw.splitlines())
+    stripped = strip_comments_and_strings(raw)
+    lines = stripped.splitlines()
+
+    findings: list[Finding] = []
+    findings += check_banned_random(relpath, lines)
+    findings += check_float_eq(relpath, lines)
+    findings += check_unordered_iter(relpath, lines)
+    findings += check_pragma_once(relpath, stripped)
+    findings += check_include_hygiene(relpath, stripped, module_dirs)
+
+    return [
+        f for f in findings if f.rule not in allows.get(f.line, set())
+    ]
+
+
+def gather_files(root: str) -> list[str]:
+    files = []
+    for scan in SCAN_DIRS:
+        base = os.path.join(root, scan)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [
+                d for d in dirnames
+                if d not in SKIP_DIR_PARTS and not d.startswith("build")
+            ]
+            for name in sorted(filenames):
+                if name.endswith(CPP_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root to lint (default: repo containing "
+                        "this script)")
+    parser.add_argument("--no-format", action="store_true",
+                        help="skip the clang-format check")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:16s} {desc}")
+        return 0
+
+    root = os.path.abspath(
+        args.root
+        or os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    src = os.path.join(root, "src")
+    module_dirs = {
+        d for d in (os.listdir(src) if os.path.isdir(src) else [])
+        if os.path.isdir(os.path.join(src, d))
+    }
+
+    files = gather_files(root)
+    if not files:
+        print(f"wheels-lint: no C++ sources found under {root}",
+              file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in files:
+        findings += lint_file(path, root, module_dirs)
+
+    if not args.no_format:
+        fmt_findings, ran = check_format(root, files)
+        findings += fmt_findings
+        if not ran:
+            print("wheels-lint: note: clang-format not available; "
+                  "format check skipped")
+
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        print(f.render())
+
+    if findings:
+        print(f"wheels-lint: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)")
+        return 1
+    print(f"wheels-lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -12,8 +12,7 @@ int main(int argc, char** argv) {
                       "Per-test performance vs high-speed-5G time share",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   for (auto test : {trip::TestType::DownlinkBulk,
                     trip::TestType::UplinkBulk, trip::TestType::Ping}) {

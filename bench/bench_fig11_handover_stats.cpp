@@ -10,8 +10,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 11", "Handovers per mile and HO duration",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   std::cout << "(a) Handovers per mile during 30 s tests\n";
   TextTable t({"Operator", "dir", "med", "p75", "max"});

@@ -14,8 +14,7 @@ int main(int argc, char** argv) {
                       "Throughput around handovers (dT1, dT2)",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   for (auto test :
        {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {

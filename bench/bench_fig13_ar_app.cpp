@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 13 (+18-19)", "AR app QoE",
                       cfg.cycle_stride);
 
-  apps::AppCampaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run_apps(cfg);
 
   TextTable t({"Operator", "compr", "runs", "E2E med (ms)", "E2E p90",
                "FPS med", "mAP med", "mAP max"});
@@ -45,7 +44,7 @@ int main(int argc, char** argv) {
   std::cout << "\nBest static runs (compressed):\n";
   TextTable ts({"Operator", "E2E (ms)", "FPS", "mAP"});
   for (auto op : ran::kAllOperators) {
-    const auto sb = campaign.run_static_baseline(op);
+    const auto& sb = bench::provider().load_or_run_apps_static(cfg, op);
     double best_e2e = 1e18, best_fps = 0.0, best_map = 0.0;
     for (const auto& r : sb) {
       if (r.app != AppKind::Ar || !r.compression || r.mean_e2e_ms <= 0.0) {

@@ -12,8 +12,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 14 (+20)", "CAV app E2E latency",
                       cfg.cycle_stride);
 
-  apps::AppCampaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run_apps(cfg);
 
   TextTable t({"Operator", "compr", "runs", "E2E med (ms)", "E2E min",
                "E2E p90", "FPS med"});

@@ -11,8 +11,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 15 (+21)", "360-degree video streaming QoE",
                       cfg.cycle_stride);
 
-  apps::AppCampaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run_apps(cfg);
 
   TextTable t({"Operator", "runs", "QoE med", "QoE min", "% runs QoE<0",
                "bitrate med", "rebuffer med %", "rebuffer max %"});
@@ -44,7 +43,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\nBest static run per operator:\n";
   for (auto op : ran::kAllOperators) {
-    const auto sb = campaign.run_static_baseline(op);
+    const auto& sb = bench::provider().load_or_run_apps_static(cfg, op);
     double best = -1e18;
     for (const auto& r : sb) {
       if (r.app == AppKind::Video) best = std::max(best, r.qoe);

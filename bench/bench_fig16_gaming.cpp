@@ -11,8 +11,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 16 (+22)", "Cloud gaming QoE",
                       cfg.cycle_stride);
 
-  apps::AppCampaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run_apps(cfg);
 
   TextTable t({"Operator", "runs", "bitrate med", "latency med (ms)",
                "% runs lat>200ms", "drop med %", "drop max %"});
@@ -43,7 +42,7 @@ int main(int argc, char** argv) {
 
   std::cout << "\nBest static run per operator:\n";
   for (auto op : ran::kAllOperators) {
-    const auto sb = campaign.run_static_baseline(op);
+    const auto& sb = bench::provider().load_or_run_apps_static(cfg, op);
     double best_br = 0.0, best_drop = 1.0;
     for (const auto& r : sb) {
       if (r.app != AppKind::Gaming) continue;

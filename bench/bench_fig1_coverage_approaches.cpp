@@ -12,8 +12,7 @@ int main(int argc, char** argv) {
       "Fig. 1", "Coverage: passive handover-logger vs active XCAL view",
       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
   const double route_km = res.route_length.kilometers();
 
   TextTable t({"Operator", "view", "5G share (%)", "HS-5G (%)",

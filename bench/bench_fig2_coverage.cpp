@@ -33,8 +33,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 2", "Technology coverage (% of miles driven)",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   std::cout << "(a) Overall coverage during active tests\n";
   auto ta = make_table();

@@ -11,13 +11,11 @@ int main(int argc, char** argv) {
                       "Static vs driving throughput and RTT CDFs",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-
   std::cout << "(a) Static (best per-city 5G sites)\n";
   TextTable ta({"Operator", "DL med", "DL max", "UL med", "UL max",
                 "RTT med", "RTT min"});
   for (auto op : ran::kAllOperators) {
-    const auto sb = campaign.run_static_baseline(op);
+    const auto& sb = bench::provider().load_or_run_static(cfg, op);
     ta.add_row_values(
         std::string(to_string(op)),
         {percentile(sb.dl_tput_mbps, 50), percentile(sb.dl_tput_mbps, 100),
@@ -30,7 +28,7 @@ int main(int argc, char** argv) {
                     "3415/812/2043; UL med 167/39/62, max 350/137/215; "
                     "RTT 8..150+ ms.");
 
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
   std::cout << "\n(b) Driving (all 500 ms samples)\n";
   TextTable tb({"Operator", "DL med", "DL p75", "DL max", "UL med",
                 "UL p75", "RTT med", "RTT max", "%DL<5Mbps", "%UL<5Mbps"});

@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
                       "cloud for Verizon)",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   for (auto test :
        {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {

@@ -10,8 +10,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 5", "Throughput by timezone",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   for (auto test :
        {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {

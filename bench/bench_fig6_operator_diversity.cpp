@@ -13,8 +13,7 @@ int main(int argc, char** argv) {
                       "differences and HT/LT bins",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   const std::pair<ran::OperatorId, ran::OperatorId> pairs[] = {
       {ran::OperatorId::Verizon, ran::OperatorId::TMobile},

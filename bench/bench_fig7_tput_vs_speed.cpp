@@ -11,8 +11,7 @@ int main(int argc, char** argv) {
                       "Throughput vs speed (three speed regions)",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   for (auto test :
        {trip::TestType::DownlinkBulk, trip::TestType::UplinkBulk}) {

@@ -10,8 +10,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 8", "RTT vs speed (three speed regions)",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   TextTable t({"Operator", "Tech", "Speed bin", "n", "med", "p90"});
   for (const auto& log : res.logs) {

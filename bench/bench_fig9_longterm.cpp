@@ -11,8 +11,7 @@ int main(int argc, char** argv) {
                       "Per-test means and within-test fluctuation",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   std::cout << "Per-test mean (upper row of Fig. 9):\n";
   TextTable t({"Operator", "DL med (Mbps)", "UL med (Mbps)",

@@ -10,8 +10,7 @@ int main(int argc, char** argv) {
   bench::print_header("Table 1", "Driving dataset statistics",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
   const auto st = analysis::dataset_stats(res);
 
   TextTable t({"Statistic", "Measured", "Paper"});

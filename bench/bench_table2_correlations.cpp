@@ -12,8 +12,7 @@ int main(int argc, char** argv) {
                       "Correlation of 500 ms throughput with KPIs",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
 
   TextTable t({"Operator", "dir", "RSRP", "MCS", "CA", "BLER", "Speed",
                "HO", "n"});

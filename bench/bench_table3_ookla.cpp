@@ -11,8 +11,7 @@ int main(int argc, char** argv) {
                       "Driving medians vs Ookla Q3 2022 (static users)",
                       cfg.cycle_stride);
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = bench::provider().load_or_run(cfg);
   const auto ookla = analysis::ookla_q3_2022();
 
   TextTable t({"Operator", "DL ours", "DL Speedtest", "UL ours",

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "apps/app_campaign.h"
+#include "dataset/provider.h"
 #include "core/stats.h"
 #include "core/table.h"
 
@@ -21,8 +22,8 @@ int main(int argc, char** argv) {
   std::cout << "Running AR / CAV / 360-video / cloud-gaming round-robin "
                "along the drive (stride "
             << cfg.cycle_stride << ")...\n\n";
-  apps::AppCampaign campaign(cfg);
-  const auto res = campaign.run();
+  dataset::CampaignProvider provider;
+  const auto& res = provider.load_or_run_apps(cfg);
 
   TextTable t({"Operator", "AR E2E med (ms)", "AR mAP med",
                "CAV E2E med (ms)", "video QoE med", "video rebuf med %",
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
   TextTable ts({"Operator", "AR E2E", "AR mAP", "CAV E2E", "video QoE",
                 "gaming bitrate"});
   for (auto op : ran::kAllOperators) {
-    const auto sb = campaign.run_static_baseline(op);
+    const auto& sb = provider.load_or_run_apps_static(cfg, op);
     double ar_best = 1e18, map_best = 0, cav_best = 1e18, qoe_best = -1e18,
            br_best = 0;
     for (const auto& r : sb) {

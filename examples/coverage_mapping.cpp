@@ -10,7 +10,9 @@
 #include <iostream>
 
 #include "analysis/coverage.h"
+#include "dataset/provider.h"
 #include "trip/campaign.h"
+#include "trip/route.h"
 
 namespace {
 
@@ -36,8 +38,8 @@ int main(int argc, char** argv) {
   trip::CampaignConfig cfg;
   cfg.seed = 42;
   cfg.cycle_stride = argc > 1 ? std::max(1, std::atoi(argv[1])) : 8;
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  dataset::CampaignProvider provider;
+  const auto& res = provider.load_or_run(cfg);
   const double route_km = res.route_length.kilometers();
   constexpr double kBinKm = 50.0;
 
@@ -47,7 +49,8 @@ int main(int argc, char** argv) {
 
   // City mile markers.
   std::string ruler(static_cast<std::size_t>(route_km / kBinKm) + 1, '-');
-  for (const auto& c : campaign.route().cities()) {
+  const trip::Route route = trip::Route::cross_country();
+  for (const auto& c : route.cities()) {
     const auto i = static_cast<std::size_t>(
         c.route_pos.kilometers() / kBinKm);
     if (i < ruler.size()) ruler[i] = '|';

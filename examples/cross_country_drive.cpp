@@ -15,6 +15,7 @@
 #include "core/table.h"
 #include "logsync/consolidate.h"
 #include "logsync/timestamp.h"
+#include "dataset/provider.h"
 #include "trip/campaign.h"
 
 int main(int argc, char** argv) {
@@ -27,8 +28,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Driving Los Angeles -> Boston (stride " << cfg.cycle_stride
             << ")...\n";
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  dataset::CampaignProvider provider;
+  const auto& res = provider.load_or_run(cfg);
   const auto st = analysis::dataset_stats(res);
 
   TextTable t({"Statistic", "Value"});

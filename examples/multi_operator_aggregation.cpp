@@ -11,6 +11,7 @@
 #include "core/stats.h"
 #include "core/table.h"
 #include "net/mptcp.h"
+#include "dataset/provider.h"
 #include "trip/campaign.h"
 
 int main(int argc, char** argv) {
@@ -22,8 +23,8 @@ int main(int argc, char** argv) {
   std::cout << "Simulating three phones in one car (stride "
             << cfg.cycle_stride << ")...\n\n";
 
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  dataset::CampaignProvider provider;
+  const auto& res = provider.load_or_run(cfg);
 
   const auto& v = res.for_op(ran::OperatorId::Verizon).kpi;
   const auto& t = res.for_op(ran::OperatorId::TMobile).kpi;

@@ -15,6 +15,7 @@
 #include "analysis/performance.h"
 #include "core/stats.h"
 #include "core/table.h"
+#include "dataset/provider.h"
 #include "trip/campaign.h"
 
 int main(int argc, char** argv) {
@@ -27,8 +28,8 @@ int main(int argc, char** argv) {
 
   std::cout << "Driving LA -> Boston (stride " << cfg.cycle_stride
             << ")...\n";
-  trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  dataset::CampaignProvider provider;
+  const auto& res = provider.load_or_run(cfg);
   std::cout << "Route: " << res.route_length.kilometers() << " km over "
             << res.days << " days ("
             << res.drive_time.minutes() / 60.0 << " h driving)\n\n";

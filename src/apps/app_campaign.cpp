@@ -39,8 +39,10 @@ void fill_offload(AppRunRecord& rec, const OffloadRunResult& r,
 
 AppCampaign::AppCampaign(AppCampaignConfig cfg) : cfg_(cfg) {}
 
-AppCampaignResult AppCampaign::run() {
-  AppCampaignResult result;
+const AppCampaignResult& AppCampaign::run() {
+  if (ran_) return result_;
+  ran_ = true;
+  AppCampaignResult& result = result_;
   const trip::Route route = trip::Route::cross_country();
   Rng rng(cfg_.seed);
   const ran::Corridor corridor =

@@ -59,6 +59,8 @@ struct AppRunRecord {
   double gaming_bitrate_mbps = 0.0;
   double gaming_latency_ms = 0.0;
   double frame_drop_rate = 0.0;
+
+  friend bool operator==(const AppRunRecord&, const AppRunRecord&) = default;
 };
 
 struct AppCampaignConfig {
@@ -77,14 +79,19 @@ struct AppCampaignResult {
       ran::OperatorId op) const {
     return runs[static_cast<std::size_t>(op)];
   }
+
+  friend bool operator==(const AppCampaignResult&,
+                         const AppCampaignResult&) = default;
 };
 
 class AppCampaign {
  public:
   explicit AppCampaign(AppCampaignConfig cfg = AppCampaignConfig{});
 
-  // Run the driving campaign for all three operators.
-  AppCampaignResult run();
+  // Run the driving campaign for all three operators (idempotent: the
+  // first call simulates, later calls return the same result). The
+  // reference stays valid for the lifetime of the AppCampaign.
+  const AppCampaignResult& run();
 
   // Best-static baselines: several runs next to the best high-speed-5G
   // site of each major city; the study quotes the best run.
@@ -92,6 +99,8 @@ class AppCampaign {
 
  private:
   AppCampaignConfig cfg_;
+  AppCampaignResult result_;
+  bool ran_ = false;
 };
 
 }  // namespace wheels::apps

@@ -1,0 +1,123 @@
+#include "dataset/cache.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace wheels::dataset {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+std::string kind_slug(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::Campaign: return "campaign";
+    case DatasetKind::StaticBaseline: return "static";
+    case DatasetKind::AppCampaign: return "apps";
+    case DatasetKind::AppStaticBaseline: return "apps-static";
+  }
+  return "unknown";
+}
+
+std::string op_slug(ran::OperatorId op) {
+  switch (op) {
+    case ran::OperatorId::Verizon: return "verizon";
+    case ran::OperatorId::TMobile: return "tmobile";
+    case ran::OperatorId::ATT: return "att";
+  }
+  return "op";
+}
+
+bool is_per_operator(DatasetKind kind) {
+  return kind == DatasetKind::StaticBaseline ||
+         kind == DatasetKind::AppStaticBaseline;
+}
+
+}  // namespace
+
+std::string resolve_cache_dir(const std::string& dir) {
+  if (!dir.empty()) return dir;
+  if (const char* env = std::getenv("WHEELS_DATASET_DIR")) {
+    if (*env != '\0') return env;
+  }
+  return "build/dataset-cache";
+}
+
+DatasetCache::DatasetCache(std::string dir)
+    : dir_(resolve_cache_dir(dir)) {}
+
+std::string DatasetCache::file_name(DatasetKind kind,
+                                    std::uint64_t fingerprint,
+                                    ran::OperatorId op) {
+  std::string name = kind_slug(kind) + "-" + hex16(fingerprint);
+  if (is_per_operator(kind)) name += "-" + op_slug(op);
+  return name + ".wds";
+}
+
+std::string DatasetCache::path_for(DatasetKind kind, std::uint64_t fingerprint,
+                                   ran::OperatorId op) const {
+  return (fs::path(dir_) / file_name(kind, fingerprint, op)).string();
+}
+
+std::optional<std::string> DatasetCache::load(DatasetKind kind,
+                                              std::uint64_t fingerprint,
+                                              ran::OperatorId op) const {
+  const std::string path = path_for(kind, fingerprint, op);
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  if (!is.good() && !is.eof()) return std::nullopt;
+  const std::string file = std::move(buf).str();
+  const auto payload = unwrap_dataset(file, kind, fingerprint);
+  if (!payload) return std::nullopt;  // corrupt/stale: caller re-simulates
+  return std::string(*payload);
+}
+
+std::optional<std::string> DatasetCache::store(DatasetKind kind,
+                                               std::uint64_t fingerprint,
+                                               ran::OperatorId op,
+                                               std::string_view payload) const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return std::nullopt;
+
+  const std::string path = path_for(kind, fingerprint, op);
+  // Per-process + per-call temp name so concurrent writers never interleave
+  // into the same temp file; the final rename is atomic on POSIX.
+  static std::atomic<unsigned> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return std::nullopt;
+    const std::string file = wrap_dataset(kind, fingerprint, payload);
+    os.write(file.data(), static_cast<std::streamsize>(file.size()));
+    if (!os.good()) {
+      os.close();
+      fs::remove(tmp, ec);
+      return std::nullopt;
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return std::nullopt;
+  }
+  return path;
+}
+
+}  // namespace wheels::dataset

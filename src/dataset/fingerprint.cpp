@@ -1,0 +1,76 @@
+#include "dataset/fingerprint.h"
+
+#include <bit>
+
+namespace wheels::dataset {
+namespace {
+
+class FnvHasher {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFFu;
+      h_ *= 0x100000001B3ull;
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i32(int v) { u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ull;
+};
+
+// Domain tags keep the four key spaces disjoint even for configs whose
+// hashed fields happen to collide (e.g. a CampaignConfig and an
+// AppCampaignConfig sharing seed/stride).
+constexpr std::uint64_t kTagCampaign = 0x77686C2D63616D70ull;     // "whl-camp"
+constexpr std::uint64_t kTagAppCampaign = 0x77686C2D61707073ull;  // "whl-apps"
+
+std::uint64_t hash_campaign(const trip::CampaignConfig& cfg, int stride) {
+  FnvHasher h;
+  h.u64(kTagCampaign);
+  h.u64(cfg.seed);
+  h.f64(cfg.slot.value);
+  h.f64(cfg.tput_test_duration.value);
+  h.f64(cfg.rtt_test_duration.value);
+  h.f64(cfg.gap.value);
+  h.f64(cfg.ping_interval.value);
+  h.f64(cfg.sample_window.value);
+  h.i32(stride);
+  h.f64(cfg.drive.hours_per_day);
+  h.i32(cfg.drive.start_hour_local);
+  return h.value();
+}
+
+std::uint64_t hash_apps(const apps::AppCampaignConfig& cfg, int stride) {
+  FnvHasher h;
+  h.u64(kTagAppCampaign);
+  h.u64(cfg.seed);
+  h.i32(stride);
+  h.f64(cfg.gap.value);
+  h.f64(cfg.drive.hours_per_day);
+  h.i32(cfg.drive.start_hour_local);
+  return h.value();
+}
+
+}  // namespace
+
+std::uint64_t fingerprint(const trip::CampaignConfig& cfg) {
+  return hash_campaign(cfg, cfg.cycle_stride);
+}
+
+std::uint64_t fingerprint(const apps::AppCampaignConfig& cfg) {
+  return hash_apps(cfg, cfg.cycle_stride);
+}
+
+std::uint64_t fingerprint_static(const trip::CampaignConfig& cfg) {
+  return hash_campaign(cfg, 0);
+}
+
+std::uint64_t fingerprint_static(const apps::AppCampaignConfig& cfg) {
+  return hash_apps(cfg, 0);
+}
+
+}  // namespace wheels::dataset

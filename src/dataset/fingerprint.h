@@ -1,0 +1,32 @@
+// Stable content-address of a campaign configuration.
+//
+// Two configs with the same fingerprint produce bit-identical datasets
+// (every stochastic process forks from cfg.seed), so the fingerprint is the
+// cache key of the simulate -> analyze split. FNV-1a over the fields in a
+// fixed declaration order; doubles are hashed by bit pattern, so -0.0 and
+// 0.0 differ (harmless: both keys regenerate correctly).
+//
+// IMPORTANT: adding a field to CampaignConfig / AppCampaignConfig requires
+// hashing it here AND bumping dataset::kSchemaVersion if the encoded result
+// layout changed with it.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/app_campaign.h"
+#include "trip/campaign.h"
+
+namespace wheels::dataset {
+
+[[nodiscard]] std::uint64_t fingerprint(const trip::CampaignConfig& cfg);
+[[nodiscard]] std::uint64_t fingerprint(const apps::AppCampaignConfig& cfg);
+
+// Static baselines never execute the strided drive loop, so their result is
+// independent of cycle_stride: these variants hash with the stride zeroed,
+// letting benches with different strides share one cached baseline.
+[[nodiscard]] std::uint64_t fingerprint_static(
+    const trip::CampaignConfig& cfg);
+[[nodiscard]] std::uint64_t fingerprint_static(
+    const apps::AppCampaignConfig& cfg);
+
+}  // namespace wheels::dataset

@@ -1,0 +1,171 @@
+#include "dataset/provider.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "dataset/fingerprint.h"
+
+namespace wheels::dataset {
+namespace {
+
+bool cache_disabled_by_env() {
+  const char* env = std::getenv("WHEELS_DATASET_CACHE");
+  return env != nullptr && std::string_view(env) == "0";
+}
+
+int op_index(ran::OperatorId op) { return static_cast<int>(op); }
+
+}  // namespace
+
+CampaignProvider::CampaignProvider(ProviderOptions opts)
+    : cache_(opts.cache_dir),
+      use_cache_(opts.use_cache && !cache_disabled_by_env()),
+      verbose_(opts.verbose) {}
+
+CampaignProvider::~CampaignProvider() = default;
+
+trip::Campaign& CampaignProvider::campaign_for(
+    const trip::CampaignConfig& cfg) {
+  const std::uint64_t fp = fingerprint(cfg);
+  auto it = campaigns_.find(fp);
+  if (it == campaigns_.end()) {
+    it = campaigns_.emplace(fp, std::make_unique<trip::Campaign>(cfg)).first;
+  }
+  return *it->second;
+}
+
+void CampaignProvider::note(DatasetKind kind, std::uint64_t fp,
+                            const char* source) const {
+  if (!verbose_) return;
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fp));
+  std::cerr << "[dataset] " << to_string(kind) << " " << hex << ": " << source
+            << "\n";
+}
+
+const trip::CampaignResult& CampaignProvider::load_or_run(
+    const trip::CampaignConfig& cfg) {
+  const std::uint64_t fp = fingerprint(cfg);
+  const auto key = std::make_pair(fp, 0);
+  if (const auto it = results_.find(key); it != results_.end()) {
+    return *it->second;
+  }
+
+  if (use_cache_) {
+    if (const auto payload = cache_.load(DatasetKind::Campaign, fp,
+                                         ran::OperatorId::Verizon)) {
+      auto loaded = std::make_unique<trip::CampaignResult>();
+      if (decode(*payload, *loaded)) {
+        ++disk_hits_;
+        note(DatasetKind::Campaign, fp, "cache hit");
+        return *results_.emplace(key, std::move(loaded)).first->second;
+      }
+    }
+  }
+
+  note(DatasetKind::Campaign, fp, "simulating");
+  auto owned = std::make_unique<trip::CampaignResult>(campaign_for(cfg).run());
+  ++campaign_simulations_;
+  if (use_cache_) {
+    cache_.store(DatasetKind::Campaign, fp, ran::OperatorId::Verizon,
+                 encode(*owned));
+  }
+  return *results_.emplace(key, std::move(owned)).first->second;
+}
+
+const trip::StaticBaseline& CampaignProvider::load_or_run_static(
+    const trip::CampaignConfig& cfg, ran::OperatorId op) {
+  const std::uint64_t fp = fingerprint_static(cfg);
+  const auto key = std::make_pair(fp, op_index(op));
+  if (const auto it = baselines_.find(key); it != baselines_.end()) {
+    return *it->second;
+  }
+
+  if (use_cache_) {
+    if (const auto payload =
+            cache_.load(DatasetKind::StaticBaseline, fp, op)) {
+      auto loaded = std::make_unique<trip::StaticBaseline>();
+      if (decode(*payload, *loaded)) {
+        ++disk_hits_;
+        note(DatasetKind::StaticBaseline, fp, "cache hit");
+        return *baselines_.emplace(key, std::move(loaded)).first->second;
+      }
+    }
+  }
+
+  note(DatasetKind::StaticBaseline, fp, "simulating");
+  auto owned = std::make_unique<trip::StaticBaseline>(
+      campaign_for(cfg).run_static_baseline(op));
+  ++baseline_simulations_;
+  if (use_cache_) {
+    cache_.store(DatasetKind::StaticBaseline, fp, op, encode(*owned));
+  }
+  return *baselines_.emplace(key, std::move(owned)).first->second;
+}
+
+const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
+    const apps::AppCampaignConfig& cfg) {
+  const std::uint64_t fp = fingerprint(cfg);
+  const auto key = std::make_pair(fp, 0);
+  if (const auto it = app_results_.find(key); it != app_results_.end()) {
+    return *it->second;
+  }
+
+  if (use_cache_) {
+    if (const auto payload = cache_.load(DatasetKind::AppCampaign, fp,
+                                         ran::OperatorId::Verizon)) {
+      auto loaded = std::make_unique<apps::AppCampaignResult>();
+      if (decode(*payload, *loaded)) {
+        ++disk_hits_;
+        note(DatasetKind::AppCampaign, fp, "cache hit");
+        return *app_results_.emplace(key, std::move(loaded)).first->second;
+      }
+    }
+  }
+
+  note(DatasetKind::AppCampaign, fp, "simulating");
+  apps::AppCampaign campaign(cfg);
+  auto owned = std::make_unique<apps::AppCampaignResult>(campaign.run());
+  ++campaign_simulations_;
+  if (use_cache_) {
+    cache_.store(DatasetKind::AppCampaign, fp, ran::OperatorId::Verizon,
+                 encode(*owned));
+  }
+  return *app_results_.emplace(key, std::move(owned)).first->second;
+}
+
+const std::vector<apps::AppRunRecord>&
+CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
+                                          ran::OperatorId op) {
+  const std::uint64_t fp = fingerprint_static(cfg);
+  const auto key = std::make_pair(fp, op_index(op));
+  if (const auto it = app_baselines_.find(key); it != app_baselines_.end()) {
+    return *it->second;
+  }
+
+  if (use_cache_) {
+    if (const auto payload =
+            cache_.load(DatasetKind::AppStaticBaseline, fp, op)) {
+      auto loaded = std::make_unique<std::vector<apps::AppRunRecord>>();
+      if (decode(*payload, *loaded)) {
+        ++disk_hits_;
+        note(DatasetKind::AppStaticBaseline, fp, "cache hit");
+        return *app_baselines_.emplace(key, std::move(loaded)).first->second;
+      }
+    }
+  }
+
+  note(DatasetKind::AppStaticBaseline, fp, "simulating");
+  apps::AppCampaign campaign(cfg);
+  auto owned = std::make_unique<std::vector<apps::AppRunRecord>>(
+      campaign.run_static_baseline(op));
+  ++baseline_simulations_;
+  if (use_cache_) {
+    cache_.store(DatasetKind::AppStaticBaseline, fp, op, encode(*owned));
+  }
+  return *app_baselines_.emplace(key, std::move(owned)).first->second;
+}
+
+}  // namespace wheels::dataset

@@ -1,0 +1,98 @@
+// CampaignProvider: the simulate -> dataset -> analyze seam.
+//
+// Every figure/table printer used to re-simulate the whole 8-day campaign;
+// the provider instead serves datasets content-addressed by the config
+// fingerprint, in resolution order:
+//
+//   1. in-memory memo (one process asking twice pays nothing),
+//   2. on-disk cache (WHEELS_DATASET_DIR, default build/dataset-cache/),
+//   3. fresh simulation (result is persisted back to the cache).
+//
+// A warm cache therefore turns `for b in build/bench/*; do $b; done` from
+// ~20 campaign simulations into at most 2 (measurement + apps), with
+// bit-identical outputs either way. simulations-run counters expose the
+// distinction for tests and for the EXPERIMENTS.md measurement.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/app_campaign.h"
+#include "dataset/cache.h"
+#include "trip/campaign.h"
+
+namespace wheels::dataset {
+
+struct ProviderOptions {
+  // Cache directory; empty resolves via WHEELS_DATASET_DIR then the
+  // build/dataset-cache default (see resolve_cache_dir).
+  std::string cache_dir;
+  // Disk cache on/off; additionally forced off by WHEELS_DATASET_CACHE=0
+  // in the environment. The in-memory memo is always on.
+  bool use_cache = true;
+  // Provenance notes ("[dataset] campaign ... cache hit") on stderr.
+  // Figures go to stdout, so cached and fresh runs stay byte-identical
+  // where it matters.
+  bool verbose = false;
+};
+
+class CampaignProvider {
+ public:
+  explicit CampaignProvider(ProviderOptions opts = ProviderOptions{});
+  ~CampaignProvider();
+
+  CampaignProvider(const CampaignProvider&) = delete;
+  CampaignProvider& operator=(const CampaignProvider&) = delete;
+
+  const trip::CampaignResult& load_or_run(const trip::CampaignConfig& cfg);
+  const trip::StaticBaseline& load_or_run_static(
+      const trip::CampaignConfig& cfg, ran::OperatorId op);
+  const apps::AppCampaignResult& load_or_run_apps(
+      const apps::AppCampaignConfig& cfg);
+  const std::vector<apps::AppRunRecord>& load_or_run_apps_static(
+      const apps::AppCampaignConfig& cfg, ran::OperatorId op);
+
+  // Full-drive campaign simulations executed by this provider (measurement
+  // and app campaigns both count; cache/memo hits do not).
+  [[nodiscard]] int campaign_simulations() const {
+    return campaign_simulations_;
+  }
+  // Per-city static-baseline simulations executed (per operator).
+  [[nodiscard]] int baseline_simulations() const {
+    return baseline_simulations_;
+  }
+  [[nodiscard]] int disk_hits() const { return disk_hits_; }
+
+  [[nodiscard]] const DatasetCache& cache() const { return cache_; }
+  [[nodiscard]] bool cache_enabled() const { return use_cache_; }
+
+ private:
+  template <typename Result>
+  using Memo = std::map<std::pair<std::uint64_t, int>,
+                        std::unique_ptr<Result>>;
+
+  // Memoized Campaign instance per full-config fingerprint, so a bench
+  // needing both baselines and the drive builds the corridor/deployments
+  // once.
+  trip::Campaign& campaign_for(const trip::CampaignConfig& cfg);
+
+  void note(DatasetKind kind, std::uint64_t fp, const char* source) const;
+
+  DatasetCache cache_;
+  bool use_cache_;
+  bool verbose_;
+  int campaign_simulations_ = 0;
+  int baseline_simulations_ = 0;
+  int disk_hits_ = 0;
+
+  std::map<std::uint64_t, std::unique_ptr<trip::Campaign>> campaigns_;
+  Memo<trip::CampaignResult> results_;
+  Memo<trip::StaticBaseline> baselines_;
+  Memo<apps::AppCampaignResult> app_results_;
+  Memo<std::vector<apps::AppRunRecord>> app_baselines_;
+};
+
+}  // namespace wheels::dataset

@@ -1,0 +1,83 @@
+// Versioned binary (de)serialization for campaign datasets.
+//
+// The simulate -> analyze split hinges on a stable on-disk form of every
+// record the campaign produces (mirroring the study's consolidated XCAL
+// database): a fixed little-endian field-by-field encoding wrapped in a
+// self-describing container header (magic, schema version, dataset kind,
+// config fingerprint, payload checksum). Readers are fully bounds-checked
+// and reject any file whose header, length, or checksum disagrees with the
+// payload, so a corrupt or stale cache entry degrades to re-simulation,
+// never to a wrong figure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/app_campaign.h"
+#include "trip/campaign.h"
+
+namespace wheels::dataset {
+
+// Bump whenever the encoded layout of any record changes. Readers reject
+// files written under a different version (no migration: datasets are
+// cheap to regenerate from the seed).
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+inline constexpr std::string_view kMagic = "WDS1";
+
+enum class DatasetKind : std::uint8_t {
+  Campaign = 1,          // trip::CampaignResult
+  StaticBaseline = 2,    // trip::StaticBaseline (one operator)
+  AppCampaign = 3,       // apps::AppCampaignResult
+  AppStaticBaseline = 4  // std::vector<apps::AppRunRecord> (one operator)
+};
+
+[[nodiscard]] std::string_view to_string(DatasetKind k);
+
+struct DatasetHeader {
+  std::uint32_t version = 0;
+  DatasetKind kind = DatasetKind::Campaign;
+  std::uint64_t fingerprint = 0;  // of the producing config (fingerprint.h)
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;  // FNV-1a over the payload bytes
+};
+
+// FNV-1a 64-bit over a byte range (also the checksum used in headers).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+// --- payload encoding -------------------------------------------------------
+[[nodiscard]] std::string encode(const trip::CampaignResult& r);
+[[nodiscard]] std::string encode(const trip::StaticBaseline& b);
+[[nodiscard]] std::string encode(const apps::AppCampaignResult& r);
+[[nodiscard]] std::string encode(const std::vector<apps::AppRunRecord>& runs);
+
+// Decoders return false (leaving `out` unspecified) on any malformed,
+// truncated, or out-of-range input.
+[[nodiscard]] bool decode(std::string_view payload, trip::CampaignResult& out);
+[[nodiscard]] bool decode(std::string_view payload, trip::StaticBaseline& out);
+[[nodiscard]] bool decode(std::string_view payload,
+                          apps::AppCampaignResult& out);
+[[nodiscard]] bool decode(std::string_view payload,
+                          std::vector<apps::AppRunRecord>& out);
+
+// --- container --------------------------------------------------------------
+// Prepend the header to an encoded payload, producing the full file image.
+[[nodiscard]] std::string wrap_dataset(DatasetKind kind,
+                                       std::uint64_t fingerprint,
+                                       std::string_view payload);
+
+// Parse just the header (for `wheels_campaign info`); nullopt when the file
+// is too short or the magic/version tag is unrecognisable.
+[[nodiscard]] std::optional<DatasetHeader> parse_header(std::string_view file);
+
+// Validate the container end-to-end (magic, version, kind, fingerprint,
+// length, checksum) and return a view of the payload. `expected_fingerprint`
+// of 0 skips the fingerprint match (any config accepted).
+[[nodiscard]] std::optional<std::string_view> unwrap_dataset(
+    std::string_view file, DatasetKind expected_kind,
+    std::uint64_t expected_fingerprint);
+
+}  // namespace wheels::dataset

@@ -59,6 +59,9 @@ struct HandoverRecord {
   [[nodiscard]] radio::HandoverKind kind() const {
     return radio::classify_handover(from_tech, to_tech);
   }
+
+  friend bool operator==(const HandoverRecord&,
+                         const HandoverRecord&) = default;
 };
 
 class UeSimulator {

@@ -342,7 +342,7 @@ void Campaign::fast_forward_cycle() {
   run_gap(Millis{cycle_ms});
 }
 
-CampaignResult Campaign::run() {
+const CampaignResult& Campaign::run() {
   if (ran_) return result_;
   ran_ = true;
 

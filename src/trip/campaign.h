@@ -46,6 +46,9 @@ struct CampaignResult {
   [[nodiscard]] const OperatorLogs& for_op(ran::OperatorId op) const {
     return logs[static_cast<std::size_t>(op)];
   }
+
+  friend bool operator==(const CampaignResult&,
+                         const CampaignResult&) = default;
 };
 
 // Per-city static baseline (the "best static conditions" of Fig. 3a).
@@ -55,6 +58,9 @@ struct StaticBaseline {
   std::vector<double> ul_tput_mbps;
   std::vector<double> rtt_ms;
   int cities_tested = 0;
+
+  friend bool operator==(const StaticBaseline&,
+                         const StaticBaseline&) = default;
 };
 
 class Campaign {
@@ -65,8 +71,11 @@ class Campaign {
   Campaign(const Campaign&) = delete;
   Campaign& operator=(const Campaign&) = delete;
 
-  // Run the full driving campaign (idempotent: one run per instance).
-  CampaignResult run();
+  // Run the full driving campaign (idempotent: the first call simulates,
+  // later calls return the same result). The reference stays valid for the
+  // lifetime of the Campaign; copy every sample vector only if you need it
+  // to outlive the instance.
+  const CampaignResult& run();
 
   // Static measurements near the best high-speed-5G site of each major
   // city (skipping operator-city pairs without mmWave/mid-band, like the

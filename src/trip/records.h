@@ -56,6 +56,8 @@ struct KpiSample {
   double tput_mbps = 0.0;
   int handovers = 0;  // HOs that started within this window
   net::ServerKind server = net::ServerKind::Cloud;
+
+  friend bool operator==(const KpiSample&, const KpiSample&) = default;
 };
 
 struct RttSample {
@@ -70,6 +72,8 @@ struct RttSample {
   bool connected = false;
   radio::Tech tech = radio::Tech::LTE;
   net::ServerKind server = net::ServerKind::Cloud;
+
+  friend bool operator==(const RttSample&, const RttSample&) = default;
 };
 
 struct PassiveSample {
@@ -81,6 +85,8 @@ struct PassiveSample {
   bool connected = false;
   radio::Tech tech = radio::Tech::LTE;
   ran::CellId cell = 0;
+
+  friend bool operator==(const PassiveSample&, const PassiveSample&) = default;
 };
 
 struct TestSummary {
@@ -101,6 +107,8 @@ struct TestSummary {
   int handovers = 0;
   double frac_high_speed_5g = 0.0;  // time fraction on mmWave/mid-band
   double bytes_transferred = 0.0;
+
+  friend bool operator==(const TestSummary&, const TestSummary&) = default;
 };
 
 // Everything one operator's phones produced over the campaign.
@@ -114,6 +122,8 @@ struct OperatorLogs {
   std::vector<ran::HandoverRecord> passive_handovers;
   std::size_t unique_cells = 0;
   Millis experiment_runtime{0.0};
+
+  friend bool operator==(const OperatorLogs&, const OperatorLogs&) = default;
 };
 
 }  // namespace wheels::trip

@@ -1,0 +1,47 @@
+// Fixture for the duplicate-fork rule: the repeated literal label in
+// bad() must fire; every other function is a compliant pattern the rule
+// must stay quiet on.
+struct Rng {
+  Rng fork(const char* label);
+  Rng fork(int salt);
+};
+
+void bad(Rng& rng) {
+  Rng a = rng.fork("cell");
+  Rng b = rng.fork("cell");
+}
+
+void good_distinct_labels(Rng& rng) {
+  Rng a = rng.fork("cell");
+  Rng b = rng.fork("trip");
+}
+
+void good_other_scope(Rng& rng) {
+  // Same label as bad(), but a different scope: no finding.
+  Rng a = rng.fork("cell");
+}
+
+void good_different_parent(Rng& rng, Rng& other) {
+  Rng a = rng.fork("cell");
+  Rng b = other.fork("cell");
+}
+
+void good_dynamic_label(Rng& rng, const char* name) {
+  // Computed labels may or may not collide; the linter only flags what it
+  // can prove, i.e. identical literals.
+  Rng a = rng.fork(name);
+  Rng b = rng.fork(name);
+}
+
+void good_chained(Rng& rng) {
+  // Chained forks have distinct parents even when a label repeats.
+  Rng a = rng.fork("op").fork("ue");
+  Rng b = rng.fork("apps").fork("ue");
+}
+
+void good_in_string(Rng& rng) {
+  // Mentions inside string literals are not calls.
+  const char* doc = "call rng.fork(\"cell\") once per scope";
+  Rng a = rng.fork("cell");
+  (void)doc;
+}

@@ -1,0 +1,160 @@
+// Provider/cache integration at the smoke stride: a warm cache must serve
+// byte-identical data without simulating, corruption must degrade to
+// re-simulation, and the seed-42 stride-64 dataset is pinned by checksum
+// so an accidental change to any stochastic process (or to the encoder)
+// is caught here rather than as a silent drift of every figure.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "dataset/cache.h"
+#include "dataset/fingerprint.h"
+#include "dataset/provider.h"
+#include "dataset/serialize.h"
+
+namespace wheels::dataset {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kStride = 64;
+// FNV-1a of encode(CampaignResult) for seed 42, stride 64. Regenerate with
+// `build/tools/wheels_campaign generate --stride 64` + this test's failure
+// message after an *intentional* simulation or schema change.
+constexpr std::uint64_t kGoldenCampaignChecksum = 0xbba11b2dda6d2b08ULL;
+
+const char kDir[] = "dataset-cache-test";
+
+trip::CampaignConfig small_cfg() {
+  trip::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = kStride;
+  return cfg;
+}
+
+apps::AppCampaignConfig small_app_cfg() {
+  apps::AppCampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = kStride;
+  return cfg;
+}
+
+ProviderOptions opts() {
+  ProviderOptions o;
+  o.cache_dir = kDir;
+  return o;
+}
+
+TEST(DatasetCache, WarmCacheEqualsFreshSimulation) {
+  fs::remove_all(kDir);
+
+  CampaignProvider fresh(opts());
+  const auto& res = fresh.load_or_run(small_cfg());
+  EXPECT_EQ(fresh.campaign_simulations(), 1);
+  EXPECT_EQ(fresh.disk_hits(), 0);
+
+  // Second ask in the same process: the in-memory memo, not a second
+  // simulation and not even a disk read.
+  const auto& again = fresh.load_or_run(small_cfg());
+  EXPECT_EQ(&res, &again);
+  EXPECT_EQ(fresh.campaign_simulations(), 1);
+  EXPECT_EQ(fresh.disk_hits(), 0);
+
+  // A new provider over the same directory (a fresh process, as far as the
+  // cache is concerned) must serve identical data purely from disk.
+  CampaignProvider warm(opts());
+  const auto& cached = warm.load_or_run(small_cfg());
+  EXPECT_EQ(warm.campaign_simulations(), 0);
+  EXPECT_EQ(warm.disk_hits(), 1);
+  EXPECT_TRUE(res == cached);
+}
+
+TEST(DatasetCache, GoldenChecksumPinsSeed42Dataset) {
+  // The previous test left the dataset on disk; load it without
+  // simulating.
+  CampaignProvider p(opts());
+  const auto& res = p.load_or_run(small_cfg());
+  ASSERT_EQ(p.campaign_simulations(), 0) << "expected a warm cache";
+  const std::uint64_t checksum = fnv1a(encode(res));
+  EXPECT_EQ(checksum, kGoldenCampaignChecksum)
+      << "seed-42 stride-64 dataset changed; if intentional, repin "
+      << "kGoldenCampaignChecksum to 0x" << std::hex << checksum;
+}
+
+TEST(DatasetCache, CorruptFileFallsBackToSimulation) {
+  const auto cfg = small_cfg();
+  const std::uint64_t fp = fingerprint(cfg);
+  const fs::path path = fs::path(kDir) / DatasetCache::file_name(
+      DatasetKind::Campaign, fp, ran::OperatorId::Verizon);
+  ASSERT_TRUE(fs::exists(path));
+
+  // Reference copy (memo) before corrupting the file.
+  CampaignProvider reference(opts());
+  const auto& good = reference.load_or_run(cfg);
+  ASSERT_EQ(reference.campaign_simulations(), 0);
+
+  // Flip one payload byte on disk.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-1, std::ios::end);
+    char c = 0;
+    f.get(c);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+
+  CampaignProvider repaired(opts());
+  const auto& resim = repaired.load_or_run(cfg);
+  EXPECT_EQ(repaired.campaign_simulations(), 1)
+      << "corrupt cache entry must re-simulate, not serve garbage";
+  EXPECT_EQ(repaired.disk_hits(), 0);
+  EXPECT_TRUE(good == resim);
+
+  // The re-simulation healed the cache entry.
+  CampaignProvider healed(opts());
+  healed.load_or_run(cfg);
+  EXPECT_EQ(healed.campaign_simulations(), 0);
+  EXPECT_EQ(healed.disk_hits(), 1);
+}
+
+TEST(DatasetCache, AppCampaignRoundTripsThroughCache) {
+  CampaignProvider fresh(opts());
+  const auto& res = fresh.load_or_run_apps(small_app_cfg());
+  EXPECT_EQ(fresh.campaign_simulations(), 1);
+
+  CampaignProvider warm(opts());
+  const auto& cached = warm.load_or_run_apps(small_app_cfg());
+  EXPECT_EQ(warm.campaign_simulations(), 0);
+  EXPECT_EQ(warm.disk_hits(), 1);
+  EXPECT_TRUE(res == cached);
+}
+
+TEST(DatasetCache, EnvVariableDisablesDiskCache) {
+  // Static baselines are cheap enough to simulate twice here.
+  const auto cfg = small_cfg();
+  CampaignProvider writer(opts());
+  const auto& sb = writer.load_or_run_static(cfg, ran::OperatorId::Verizon);
+  EXPECT_EQ(writer.baseline_simulations(), 1);
+
+  ASSERT_EQ(setenv("WHEELS_DATASET_CACHE", "0", 1), 0);
+  CampaignProvider bypass(opts());
+  EXPECT_FALSE(bypass.cache_enabled());
+  const auto& sb2 = bypass.load_or_run_static(cfg, ran::OperatorId::Verizon);
+  EXPECT_EQ(bypass.baseline_simulations(), 1)
+      << "WHEELS_DATASET_CACHE=0 must force re-simulation";
+  EXPECT_EQ(bypass.disk_hits(), 0);
+  EXPECT_TRUE(sb == sb2);
+  ASSERT_EQ(unsetenv("WHEELS_DATASET_CACHE"), 0);
+
+  // With the variable cleared the same directory serves hits again.
+  CampaignProvider reader(opts());
+  reader.load_or_run_static(cfg, ran::OperatorId::Verizon);
+  EXPECT_EQ(reader.baseline_simulations(), 0);
+  EXPECT_EQ(reader.disk_hits(), 1);
+}
+
+}  // namespace
+}  // namespace wheels::dataset

@@ -282,7 +282,7 @@ TEST_F(CampaignIntegration, DeterministicAcrossRuns) {
   cfg.seed = 20250707;
   cfg.cycle_stride = 12;
   trip::Campaign again(cfg);
-  const auto res2 = again.run();
+  const auto& res2 = again.run();
   for (std::size_t i = 0; i < 3; ++i) {
     ASSERT_EQ(res2.logs[i].kpi.size(), result_->logs[i].kpi.size());
     for (std::size_t k = 0; k < res2.logs[i].kpi.size(); k += 97) {

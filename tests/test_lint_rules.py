@@ -107,6 +107,22 @@ class IncludeHygiene(unittest.TestCase):
         self.assertNotIn('"radio/bad_includes.h"', out)
 
 
+class DuplicateFork(unittest.TestCase):
+    def test_repeated_literal_label_fires(self):
+        code, out = run_lint("duplicate_fork")
+        self.assertEqual(code, 1, out)
+        self.assertIn("duplicate-fork", out)
+        self.assertIn("dup_fork.cpp:11", out)
+        self.assertIn('"cell"', out)
+
+    def test_compliant_variants_stay_quiet(self):
+        # Exactly one finding: distinct labels, other scopes, other
+        # parents, computed labels, chained forks and string mentions are
+        # all allowed.
+        _, out = run_lint("duplicate_fork")
+        self.assertEqual(out.count("duplicate-fork"), 1, out)
+
+
 class AllowSuppression(unittest.TestCase):
     def test_allow_comment_suppresses_same_and_previous_line(self):
         code, out = run_lint("allow_suppression")

@@ -43,8 +43,9 @@ TEST(Rng, ForkSaltsAndLabelsDistinguish) {
   EXPECT_NE(a.next_u64(), b.next_u64());
   Rng c = parent.fork("cell"), d = parent.fork("trip");
   EXPECT_NE(c.next_u64(), d.next_u64());
-  Rng e = parent.fork("cell");
-  Rng f = parent.fork("cell");
+  // Duplicate labels are the point here: same label, same stream.
+  Rng e = parent.fork("cell");  // wheels-lint: allow(duplicate-fork)
+  Rng f = parent.fork("cell");  // wheels-lint: allow(duplicate-fork)
   EXPECT_EQ(e.next_u64(), f.next_u64());
 }
 

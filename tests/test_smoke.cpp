@@ -12,7 +12,7 @@ TEST(Smoke, StridedCampaignProducesLogs) {
   cfg.seed = 7;
   cfg.cycle_stride = 30;  // ~3% of the cycles: fast smoke
   trip::Campaign campaign(cfg);
-  const auto res = campaign.run();
+  const auto& res = campaign.run();
 
   EXPECT_GT(res.route_length.kilometers(), 5'000.0);
   EXPECT_GE(res.days, 6);

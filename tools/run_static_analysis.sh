@@ -3,15 +3,17 @@
 #
 # Stages (each independently skippable via env toggles, all default ON):
 #   1. wheels-lint       determinism/hygiene linter + its own rule tests
-#   2. werror build      expanded warning set promoted to errors
-#   3. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
-#   4. clang-tidy        only when clang-tidy is installed (optional stage)
+#   2. dataset CLI       wheels_campaign smoke (argument validation, info
+#                        on an empty cache; no simulation)
+#   3. werror build      expanded warning set promoted to errors
+#   4. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
+#   5. clang-tidy        only when clang-tidy is installed (optional stage)
 #
 # Usage: tools/run_static_analysis.sh [--quick]
-#   --quick     skip the sanitizer ctest run (stages 1-2 only)
+#   --quick     skip the sanitizer ctest run (stages 1-3 only)
 #
-# Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_WERROR=0, WHEELS_CI_SANITIZE=0,
-#              WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
+# Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_DATASET=0, WHEELS_CI_WERROR=0,
+#              WHEELS_CI_SANITIZE=0, WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -38,14 +40,46 @@ if [[ "${WHEELS_CI_LINT:-1}" == 1 ]]; then
   python3 tools/wheels_lint.py --root "$ROOT" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 2: warnings-as-errors build -------------------------------------
+# --- Stage 2: dataset CLI smoke --------------------------------------------
+# Builds wheels_campaign and checks the argument/exit-code contract without
+# running a simulation: `info` on an empty cache succeeds, malformed input
+# and unknown subcommands must exit non-zero.
+if [[ "${WHEELS_CI_DATASET:-1}" == 1 ]]; then
+  banner "wheels_campaign CLI smoke"
+  cmake --preset default >/dev/null
+  if cmake --build --preset default -j "$JOBS" --target wheels_campaign; then
+    CLI=build/tools/wheels_campaign
+    SMOKE_DIR=build/cli-smoke-cache
+    rm -rf "$SMOKE_DIR" && mkdir -p "$SMOKE_DIR"
+    CLI_OK=1
+    "$CLI" --help >/dev/null || CLI_OK=0
+    "$CLI" info --dir "$SMOKE_DIR" >/dev/null || CLI_OK=0
+    if "$CLI" generate --stride abc --dir "$SMOKE_DIR" 2>/dev/null; then
+      CLI_OK=0  # malformed stride must be rejected
+    fi
+    if "$CLI" bogus-subcommand 2>/dev/null; then
+      CLI_OK=0  # unknown subcommand must be rejected
+    fi
+    rm -rf "$SMOKE_DIR"
+    if [[ "$CLI_OK" == 1 ]]; then
+      echo "wheels_campaign CLI: OK"
+    else
+      echo "wheels_campaign CLI smoke FAILED"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+# --- Stage 3: warnings-as-errors build -------------------------------------
 if [[ "${WHEELS_CI_WERROR:-1}" == 1 ]]; then
   banner "werror build (-Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast)"
   cmake --preset werror >/dev/null
   cmake --build --preset werror -j "$JOBS" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 3: sanitizer-clean test suite -----------------------------------
+# --- Stage 4: sanitizer-clean test suite -----------------------------------
 if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
   banner "asan-ubsan build + ctest"
   cmake --preset asan-ubsan >/dev/null
@@ -57,7 +91,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
     ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 4: clang-tidy (best effort: optional in the container) ----------
+# --- Stage 5: clang-tidy (best effort: optional in the container) ----------
 if [[ "${WHEELS_CI_TIDY:-1}" == 1 ]]; then
   if command -v clang-tidy >/dev/null 2>&1; then
     banner "clang-tidy"

@@ -20,6 +20,11 @@ enforces it mechanically:
                     dependent, so anything it feeds (output tables, summed
                     floats) is nondeterministic. Iterate a sorted view or use
                     std::map.
+  duplicate-fork    the same string-literal fork label used twice on the
+                    same parent Rng in one scope. fork(label) is a pure
+                    function of (parent state, label), so duplicated labels
+                    yield bit-identical streams and silently correlate
+                    processes that were meant to be independent.
   pragma-once       every header must start its include guard with
                     #pragma once.
   include-hygiene   quoted includes in src/ must be module-qualified
@@ -86,6 +91,14 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*([^)]+)\)")
 
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 
+# `recv.fork("label")` / `recv->fork("label")` with a string-literal label.
+# Chained calls (`rng.fork(a).fork("b")`) and computed labels
+# (`rng.fork(city.name)`) deliberately do not match: only textually
+# identical (receiver, literal) pairs can be proven duplicates.
+FORK_RE = re.compile(
+    r"(?P<recv>\b\w+(?:(?:\.|->)\w+)*)\s*(?:\.|->)\s*fork\s*\(\s*"
+    r'"(?P<label>[^"]*)"\s*\)')
+
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
 
 ALLOW_RE = re.compile(r"//\s*wheels-lint:\s*allow\(([a-z\-, ]+)\)")
@@ -97,6 +110,8 @@ RULES = {
         "direct floating-point ==/!= in analysis or radio layers",
     "unordered-iter":
         "iteration over unordered container (nondeterministic order)",
+    "duplicate-fork":
+        "same string-literal rng fork label twice on one parent in a scope",
     "pragma-once":
         "header missing #pragma once",
     "include-hygiene":
@@ -117,9 +132,11 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def strip_comments_and_strings(text: str) -> str:
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
     """Blank out comments, string and char literals, preserving line
-    structure so reported line numbers stay meaningful."""
+    structure so reported line numbers stay meaningful. With
+    `keep_strings`, ordinary string literals survive (raw strings and char
+    literals are still blanked) for rules that inspect literal contents."""
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -160,7 +177,7 @@ def strip_comments_and_strings(text: str) -> str:
                     i += 1
                 i += 1
             i += 1
-            if is_include:
+            if is_include or keep_strings:
                 out.append(text[start:i])
         elif c == "'":
             i += 1
@@ -254,6 +271,62 @@ def check_unordered_iter(relpath: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
+def check_duplicate_fork(relpath: str, text: str) -> list[Finding]:
+    """`text` has comments blanked but string literals preserved. Walks the
+    file once, tracking brace scopes and skipping literals, and reports any
+    (scope, receiver, label) triple seen more than once."""
+    matches = {m.start(): m for m in FORK_RE.finditer(text)}
+    if not matches:
+        return []
+    findings = []
+    seen: dict[tuple[int, str, str], int] = {}
+    stack = [0]
+    next_scope = 1
+    line = 1
+    i, n = 0, len(text)
+    while i < n:
+        if i in matches:
+            m = matches[i]
+            key = (stack[-1], m.group("recv"), m.group("label"))
+            if key in seen:
+                findings.append(
+                    Finding(
+                        relpath, line, "duplicate-fork",
+                        f'fork label "{m.group("label")}" already used on '
+                        f"'{m.group('recv')}' in this scope (line "
+                        f"{seen[key]}): identical labels fork bit-identical "
+                        "streams, correlating randomness that was meant to "
+                        "be independent"))
+            else:
+                seen[key] = line
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+        elif c == '"':
+            # Skip the literal so its contents neither open scopes nor
+            # start new matches.
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    line += 1
+                i += 1
+            i += 1
+        elif c == "{":
+            stack.append(next_scope)
+            next_scope += 1
+            i += 1
+        elif c == "}":
+            if len(stack) > 1:
+                stack.pop()
+            i += 1
+        else:
+            i += 1
+    return findings
+
+
 def check_pragma_once(relpath: str, text: str) -> list[Finding]:
     if not relpath.endswith((".h", ".hpp")):
         return []
@@ -334,6 +407,8 @@ def lint_file(path: str, root: str, module_dirs: set[str]) -> list[Finding]:
     findings += check_banned_random(relpath, lines)
     findings += check_float_eq(relpath, lines)
     findings += check_unordered_iter(relpath, lines)
+    findings += check_duplicate_fork(
+        relpath, strip_comments_and_strings(raw, keep_strings=True))
     findings += check_pragma_once(relpath, stripped)
     findings += check_include_hygiene(relpath, stripped, module_dirs)
 

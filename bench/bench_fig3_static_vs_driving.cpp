@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   bench::print_header("Fig. 3",
                       "Static vs driving throughput and RTT CDFs",
                       cfg.cycle_stride);
+  bench::warm_campaign_and_baselines(cfg);
 
   std::cout << "(a) Static (best per-city 5G sites)\n";
   TextTable ta({"Operator", "DL med", "DL max", "UL med", "UL max",

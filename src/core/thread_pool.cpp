@@ -1,0 +1,68 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+namespace wheels {
+
+int resolve_jobs(int requested) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const int cap = static_cast<int>(4u * hw);
+  int jobs = requested;
+  if (jobs < 1) {
+    jobs = 1;
+    if (const char* env = std::getenv("WHEELS_JOBS")) {
+      errno = 0;
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      // A malformed WHEELS_JOBS falls back to sequential rather than
+      // guessing: parallelism is an optimization, never a requirement.
+      if (errno == 0 && end != env && *end == '\0' && v >= 1) {
+        jobs = static_cast<int>(std::min<long>(v, cap));
+      }
+    }
+  }
+  return std::clamp(jobs, 1, cap);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stop_ set and queue drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace wheels

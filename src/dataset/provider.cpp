@@ -2,8 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <iostream>
+#include <string>
 
+#include "core/thread_pool.h"
 #include "dataset/fingerprint.h"
 
 namespace wheels::dataset {
@@ -21,9 +22,16 @@ int op_index(ran::OperatorId op) { return static_cast<int>(op); }
 CampaignProvider::CampaignProvider(ProviderOptions opts)
     : cache_(opts.cache_dir),
       use_cache_(opts.use_cache && !cache_disabled_by_env()),
-      verbose_(opts.verbose) {}
+      verbose_(opts.verbose),
+      jobs_(resolve_jobs(opts.jobs)) {}
 
 CampaignProvider::~CampaignProvider() = default;
+
+void CampaignProvider::set_jobs(int jobs) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  jobs_ = resolve_jobs(jobs);
+  for (auto& [fp, campaign] : campaigns_) campaign->set_jobs(jobs_);
+}
 
 trip::Campaign& CampaignProvider::campaign_for(
     const trip::CampaignConfig& cfg) {
@@ -31,6 +39,7 @@ trip::Campaign& CampaignProvider::campaign_for(
   auto it = campaigns_.find(fp);
   if (it == campaigns_.end()) {
     it = campaigns_.emplace(fp, std::make_unique<trip::Campaign>(cfg)).first;
+    it->second->set_jobs(jobs_);
   }
   return *it->second;
 }
@@ -41,16 +50,27 @@ void CampaignProvider::note(DatasetKind kind, std::uint64_t fp,
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(fp));
-  std::cerr << "[dataset] " << to_string(kind) << " " << hex << ": " << source
-            << "\n";
+  // One write per note: notes from concurrent workers must not interleave
+  // mid-line on stderr.
+  std::string line = "[dataset] ";
+  line += to_string(kind);
+  line += " ";
+  line += hex;
+  line += ": ";
+  line += source;
+  line += "\n";
+  std::fputs(line.c_str(), stderr);
 }
 
 const trip::CampaignResult& CampaignProvider::load_or_run(
     const trip::CampaignConfig& cfg) {
   const std::uint64_t fp = fingerprint(cfg);
   const auto key = std::make_pair(fp, 0);
-  if (const auto it = results_.find(key); it != results_.end()) {
-    return *it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = results_.find(key); it != results_.end()) {
+      return *it->second;
+    }
   }
 
   if (use_cache_) {
@@ -58,29 +78,48 @@ const trip::CampaignResult& CampaignProvider::load_or_run(
                                          ran::OperatorId::Verizon)) {
       auto loaded = std::make_unique<trip::CampaignResult>();
       if (decode(*payload, *loaded)) {
-        ++disk_hits_;
-        note(DatasetKind::Campaign, fp, "cache hit");
-        return *results_.emplace(key, std::move(loaded)).first->second;
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto [it, inserted] = results_.emplace(key, std::move(loaded));
+        if (inserted) {
+          ++disk_hits_;
+          note(DatasetKind::Campaign, fp, "cache hit");
+        }
+        return *it->second;
       }
     }
   }
 
-  note(DatasetKind::Campaign, fp, "simulating");
-  auto owned = std::make_unique<trip::CampaignResult>(campaign_for(cfg).run());
-  ++campaign_simulations_;
-  if (use_cache_) {
-    cache_.store(DatasetKind::Campaign, fp, ran::OperatorId::Verizon,
-                 encode(*owned));
+  trip::Campaign* campaign = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    campaign = &campaign_for(cfg);
   }
-  return *results_.emplace(key, std::move(owned)).first->second;
+  note(DatasetKind::Campaign, fp, "simulating");
+  // Simulate outside the lock so distinct keys overlap; Campaign::run is
+  // itself idempotent, so a same-key race costs a copy, not a re-run.
+  auto owned = std::make_unique<trip::CampaignResult>(campaign->run());
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = results_.emplace(key, std::move(owned));
+  if (inserted) {
+    ++campaign_simulations_;
+    if (use_cache_) {
+      cache_.store(DatasetKind::Campaign, fp, ran::OperatorId::Verizon,
+                   encode(*it->second));
+    }
+  }
+  return *it->second;
 }
 
 const trip::StaticBaseline& CampaignProvider::load_or_run_static(
     const trip::CampaignConfig& cfg, ran::OperatorId op) {
   const std::uint64_t fp = fingerprint_static(cfg);
   const auto key = std::make_pair(fp, op_index(op));
-  if (const auto it = baselines_.find(key); it != baselines_.end()) {
-    return *it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = baselines_.find(key); it != baselines_.end()) {
+      return *it->second;
+    }
   }
 
   if (use_cache_) {
@@ -88,29 +127,46 @@ const trip::StaticBaseline& CampaignProvider::load_or_run_static(
             cache_.load(DatasetKind::StaticBaseline, fp, op)) {
       auto loaded = std::make_unique<trip::StaticBaseline>();
       if (decode(*payload, *loaded)) {
-        ++disk_hits_;
-        note(DatasetKind::StaticBaseline, fp, "cache hit");
-        return *baselines_.emplace(key, std::move(loaded)).first->second;
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto [it, inserted] = baselines_.emplace(key, std::move(loaded));
+        if (inserted) {
+          ++disk_hits_;
+          note(DatasetKind::StaticBaseline, fp, "cache hit");
+        }
+        return *it->second;
       }
     }
   }
 
+  trip::Campaign* campaign = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    campaign = &campaign_for(cfg);
+  }
   note(DatasetKind::StaticBaseline, fp, "simulating");
   auto owned = std::make_unique<trip::StaticBaseline>(
-      campaign_for(cfg).run_static_baseline(op));
-  ++baseline_simulations_;
-  if (use_cache_) {
-    cache_.store(DatasetKind::StaticBaseline, fp, op, encode(*owned));
+      campaign->run_static_baseline(op));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = baselines_.emplace(key, std::move(owned));
+  if (inserted) {
+    ++baseline_simulations_;
+    if (use_cache_) {
+      cache_.store(DatasetKind::StaticBaseline, fp, op, encode(*it->second));
+    }
   }
-  return *baselines_.emplace(key, std::move(owned)).first->second;
+  return *it->second;
 }
 
 const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
     const apps::AppCampaignConfig& cfg) {
   const std::uint64_t fp = fingerprint(cfg);
   const auto key = std::make_pair(fp, 0);
-  if (const auto it = app_results_.find(key); it != app_results_.end()) {
-    return *it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = app_results_.find(key); it != app_results_.end()) {
+      return *it->second;
+    }
   }
 
   if (use_cache_) {
@@ -118,9 +174,14 @@ const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
                                          ran::OperatorId::Verizon)) {
       auto loaded = std::make_unique<apps::AppCampaignResult>();
       if (decode(*payload, *loaded)) {
-        ++disk_hits_;
-        note(DatasetKind::AppCampaign, fp, "cache hit");
-        return *app_results_.emplace(key, std::move(loaded)).first->second;
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto [it, inserted] =
+            app_results_.emplace(key, std::move(loaded));
+        if (inserted) {
+          ++disk_hits_;
+          note(DatasetKind::AppCampaign, fp, "cache hit");
+        }
+        return *it->second;
       }
     }
   }
@@ -128,12 +189,17 @@ const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
   note(DatasetKind::AppCampaign, fp, "simulating");
   apps::AppCampaign campaign(cfg);
   auto owned = std::make_unique<apps::AppCampaignResult>(campaign.run());
-  ++campaign_simulations_;
-  if (use_cache_) {
-    cache_.store(DatasetKind::AppCampaign, fp, ran::OperatorId::Verizon,
-                 encode(*owned));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = app_results_.emplace(key, std::move(owned));
+  if (inserted) {
+    ++campaign_simulations_;
+    if (use_cache_) {
+      cache_.store(DatasetKind::AppCampaign, fp, ran::OperatorId::Verizon,
+                   encode(*it->second));
+    }
   }
-  return *app_results_.emplace(key, std::move(owned)).first->second;
+  return *it->second;
 }
 
 const std::vector<apps::AppRunRecord>&
@@ -141,8 +207,11 @@ CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
                                           ran::OperatorId op) {
   const std::uint64_t fp = fingerprint_static(cfg);
   const auto key = std::make_pair(fp, op_index(op));
-  if (const auto it = app_baselines_.find(key); it != app_baselines_.end()) {
-    return *it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (const auto it = app_baselines_.find(key); it != app_baselines_.end()) {
+      return *it->second;
+    }
   }
 
   if (use_cache_) {
@@ -150,9 +219,14 @@ CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
             cache_.load(DatasetKind::AppStaticBaseline, fp, op)) {
       auto loaded = std::make_unique<std::vector<apps::AppRunRecord>>();
       if (decode(*payload, *loaded)) {
-        ++disk_hits_;
-        note(DatasetKind::AppStaticBaseline, fp, "cache hit");
-        return *app_baselines_.emplace(key, std::move(loaded)).first->second;
+        const std::lock_guard<std::mutex> lock(mu_);
+        const auto [it, inserted] =
+            app_baselines_.emplace(key, std::move(loaded));
+        if (inserted) {
+          ++disk_hits_;
+          note(DatasetKind::AppStaticBaseline, fp, "cache hit");
+        }
+        return *it->second;
       }
     }
   }
@@ -161,11 +235,16 @@ CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
   apps::AppCampaign campaign(cfg);
   auto owned = std::make_unique<std::vector<apps::AppRunRecord>>(
       campaign.run_static_baseline(op));
-  ++baseline_simulations_;
-  if (use_cache_) {
-    cache_.store(DatasetKind::AppStaticBaseline, fp, op, encode(*owned));
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = app_baselines_.emplace(key, std::move(owned));
+  if (inserted) {
+    ++baseline_simulations_;
+    if (use_cache_) {
+      cache_.store(DatasetKind::AppStaticBaseline, fp, op, encode(*it->second));
+    }
   }
-  return *app_baselines_.emplace(key, std::move(owned)).first->second;
+  return *it->second;
 }
 
 }  // namespace wheels::dataset

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -37,6 +38,10 @@ struct ProviderOptions {
   // Figures go to stdout, so cached and fresh runs stay byte-identical
   // where it matters.
   bool verbose = false;
+  // Worker threads handed to every Campaign this provider builds (replay
+  // and per-city baseline fan-out). <= 0 resolves from WHEELS_JOBS. Never
+  // part of the fingerprint: jobs changes wall-clock, not bytes.
+  int jobs = 0;
 };
 
 class CampaignProvider {
@@ -47,6 +52,9 @@ class CampaignProvider {
   CampaignProvider(const CampaignProvider&) = delete;
   CampaignProvider& operator=(const CampaignProvider&) = delete;
 
+  // The load_or_run* methods are safe to call from several threads (the
+  // tools materialize the campaign and all static baselines concurrently);
+  // concurrent requests for the same key simulate at most once.
   const trip::CampaignResult& load_or_run(const trip::CampaignConfig& cfg);
   const trip::StaticBaseline& load_or_run_static(
       const trip::CampaignConfig& cfg, ran::OperatorId op);
@@ -54,6 +62,11 @@ class CampaignProvider {
       const apps::AppCampaignConfig& cfg);
   const std::vector<apps::AppRunRecord>& load_or_run_apps_static(
       const apps::AppCampaignConfig& cfg, ran::OperatorId op);
+
+  // Re-resolve the worker count (jobs <= 0 reads WHEELS_JOBS); applies to
+  // existing memoized Campaigns as well as future ones.
+  void set_jobs(int jobs);
+  [[nodiscard]] int jobs() const { return jobs_; }
 
   // Full-drive campaign simulations executed by this provider (measurement
   // and app campaigns both count; cache/memo hits do not).
@@ -76,7 +89,7 @@ class CampaignProvider {
 
   // Memoized Campaign instance per full-config fingerprint, so a bench
   // needing both baselines and the drive builds the corridor/deployments
-  // once.
+  // once. Callers must hold mu_.
   trip::Campaign& campaign_for(const trip::CampaignConfig& cfg);
 
   void note(DatasetKind kind, std::uint64_t fp, const char* source) const;
@@ -84,9 +97,15 @@ class CampaignProvider {
   DatasetCache cache_;
   bool use_cache_;
   bool verbose_;
+  int jobs_ = 1;
   int campaign_simulations_ = 0;
   int baseline_simulations_ = 0;
   int disk_hits_ = 0;
+
+  // Guards the memo maps, the Campaign table, and the counters. Never held
+  // across a simulation: concurrent distinct-key requests simulate in
+  // parallel, and same-key losers discard their copy at emplace time.
+  std::mutex mu_;
 
   std::map<std::uint64_t, std::unique_ptr<trip::Campaign>> campaigns_;
   Memo<trip::CampaignResult> results_;

@@ -21,10 +21,12 @@
 
 namespace wheels::dataset {
 
-// Bump whenever the encoded layout of any record changes. Readers reject
-// files written under a different version (no migration: datasets are
-// cheap to regenerate from the seed).
-inline constexpr std::uint32_t kSchemaVersion = 1;
+// Bump whenever the encoded layout of any record changes, or when the
+// simulation bytes change for an unchanged fingerprint (v2: per-city ping
+// RNG streams in the static baseline). Readers reject files written under
+// a different version (no migration: datasets are cheap to regenerate from
+// the seed).
+inline constexpr std::uint32_t kSchemaVersion = 2;
 
 inline constexpr std::string_view kMagic = "WDS1";
 

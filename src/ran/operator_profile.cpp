@@ -10,7 +10,7 @@ constexpr std::size_t idx(Tech t) { return static_cast<std::size_t>(t); }
 
 // Timezone scale arrays are indexed Pacific, Mountain, Central, Eastern.
 
-OperatorProfile make_verizon() {
+constexpr OperatorProfile make_verizon() {
   OperatorProfile p{};
   p.id = OperatorId::Verizon;
 
@@ -74,7 +74,7 @@ OperatorProfile make_verizon() {
   return p;
 }
 
-OperatorProfile make_tmobile() {
+constexpr OperatorProfile make_tmobile() {
   OperatorProfile p{};
   p.id = OperatorId::TMobile;
 
@@ -136,7 +136,7 @@ OperatorProfile make_tmobile() {
   return p;
 }
 
-OperatorProfile make_att() {
+constexpr OperatorProfile make_att() {
   OperatorProfile p{};
   p.id = OperatorId::ATT;
 
@@ -201,6 +201,13 @@ OperatorProfile make_att() {
   return p;
 }
 
+// Constant-initialized at compile time: replay workers may hit their first
+// operator_profile() call concurrently, so the tables must not be magic
+// statics (no initialization race, no guard-variable synchronization).
+constexpr OperatorProfile kVerizonProfile = make_verizon();
+constexpr OperatorProfile kTMobileProfile = make_tmobile();
+constexpr OperatorProfile kAttProfile = make_att();
+
 }  // namespace
 
 double TechDeployment::availability(Environment env, TimeZone tz) const {
@@ -216,15 +223,12 @@ double TechDeployment::availability(Environment env, TimeZone tz) const {
 }
 
 const OperatorProfile& operator_profile(OperatorId op) {
-  static const OperatorProfile verizon = make_verizon();
-  static const OperatorProfile tmobile = make_tmobile();
-  static const OperatorProfile att = make_att();
   switch (op) {
-    case OperatorId::Verizon: return verizon;
-    case OperatorId::TMobile: return tmobile;
-    case OperatorId::ATT: return att;
+    case OperatorId::Verizon: return kVerizonProfile;
+    case OperatorId::TMobile: return kTMobileProfile;
+    case OperatorId::ATT: return kAttProfile;
   }
-  return verizon;
+  return kVerizonProfile;
 }
 
 }  // namespace wheels::ran

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/stats.h"
+#include "core/thread_pool.h"
 #include "net/ping.h"
 #include "radio/phy_rate.h"
 
@@ -50,7 +51,8 @@ Campaign::Campaign(CampaignConfig cfg)
       route_(Route::cross_country()),
       corridor_(build_corridor(route_, rng_.fork("corridor"))),
       servers_(edge_sites_from(route_)),
-      trip_(route_, corridor_, rng_.fork("trip"), cfg.drive) {
+      trip_(route_, corridor_, rng_.fork("trip"), cfg.drive),
+      jobs_(resolve_jobs()) {
   for (OperatorId op : ran::kAllOperators) {
     const auto i = static_cast<std::size_t>(op);
     deployments_[i] = std::make_unique<ran::Deployment>(
@@ -68,35 +70,37 @@ const ran::Deployment& Campaign::deployment(OperatorId op) const {
   return *deployments_[static_cast<std::size_t>(op)];
 }
 
-void Campaign::step_passive(Millis dt) {
-  // Passive phones sample coarsely (their ping cadence is 200 ms) and log
-  // a technology record every second.
-  const TripPoint& pt = trip_.current();
-  for (auto& ph : phones_) {
-    ph->passive_step_accum += dt;
-    ph->passive_log_accum += dt;
-    if (ph->passive_step_accum.value >= 200.0) {
-      const auto link = ph->passive_ue.step(pt.time, pt.position, pt.speed,
-                                            ph->passive_step_accum);
-      ph->passive_step_accum = Millis{0.0};
-      if (ph->passive_log_accum.value >= 1'000.0) {
-        ph->passive_log_accum = Millis{0.0};
-        PassiveSample ps;
-        ps.time = pt.time;
-        ps.op = ph->op;
-        ps.position = pt.position;
-        ps.speed = pt.speed;
-        ps.tz = corridor_.at(pt.position).tz;
-        ps.connected = link.connected;
-        ps.tech = link.tech;
-        ps.cell = link.cell;
-        result_.logs[static_cast<std::size_t>(ph->op)].passive.push_back(ps);
-      }
+void Campaign::set_jobs(int jobs) { jobs_ = resolve_jobs(jobs); }
+
+void Campaign::step_passive(PhoneSet& ph, const TrajectoryPoint& pt,
+                            Millis dt) {
+  // The passive phone samples coarsely (its ping cadence is 200 ms) and
+  // logs a technology record every second.
+  ph.passive_step_accum += dt;
+  ph.passive_log_accum += dt;
+  if (ph.passive_step_accum.value >= 200.0) {
+    const auto link =
+        ph.passive_ue.step(pt.time, pt.position, pt.speed,
+                           ph.passive_step_accum);
+    ph.passive_step_accum = Millis{0.0};
+    if (ph.passive_log_accum.value >= 1'000.0) {
+      ph.passive_log_accum = Millis{0.0};
+      PassiveSample ps;
+      ps.time = pt.time;
+      ps.op = ph.op;
+      ps.position = pt.position;
+      ps.speed = pt.speed;
+      ps.tz = pt.tz;
+      ps.connected = link.connected;
+      ps.tech = link.tech;
+      ps.cell = link.cell;
+      result_.logs[static_cast<std::size_t>(ph.op)].passive.push_back(ps);
     }
   }
 }
 
-void Campaign::run_bulk_test(TestType type, int test_id) {
+void Campaign::replay_bulk(PhoneSet& ph, const Trajectory& traj,
+                           const TrajectorySegment& seg, TestType type) {
   const Direction dir = type == TestType::DownlinkBulk
                             ? Direction::Downlink
                             : Direction::Uplink;
@@ -110,257 +114,218 @@ void Campaign::run_bulk_test(TestType type, int test_id) {
     int slots = 0, connected_slots = 0;
     std::array<int, 5> tech_slots{};
   };
-  struct PhoneTestState {
-    WindowAccum win;
-    net::ServerEndpoint server;
-    std::size_t ho_base = 0;
-    std::size_t ho_window_base = 0;
-    std::vector<double> window_tputs;
-    int hs5g_slots = 0;
-    int total_slots = 0;
-    double total_bytes = 0.0;
-  };
-  std::array<PhoneTestState, 3> st;
 
-  const TripPoint start_pt = trip_.current();
-  const TimeZone start_tz = corridor_.at(start_pt.position).tz;
-  for (auto& ph : phones_) {
-    const auto i = static_cast<std::size_t>(ph->op);
-    ph->test_ue.set_traffic(traffic);
-    ph->flow.restart();
-    st[i].server = servers_.select(ph->op, start_pt.position, start_tz);
-    st[i].ho_base = ph->test_ue.handovers().size();
-    st[i].ho_window_base = st[i].ho_base;
-  }
-
-  Millis elapsed{0.0};
+  auto& log = result_.logs[static_cast<std::size_t>(ph.op)];
+  ph.test_ue.set_traffic(traffic);
+  ph.flow.restart();
+  const auto server = servers_.select(ph.op, seg.start.position, seg.start.tz);
+  const std::size_t ho_base = ph.test_ue.handovers().size();
+  std::size_t ho_window_base = ho_base;
+  std::vector<double> window_tputs;
+  WindowAccum w;
+  int hs5g_slots = 0;
+  int total_slots = 0;
+  double total_bytes = 0.0;
   Millis window_elapsed{0.0};
-  while (elapsed.value < cfg_.tput_test_duration.value && !trip_.finished()) {
-    const TripPoint pt = trip_.advance(cfg_.slot);
-    elapsed += cfg_.slot;
-    window_elapsed += cfg_.slot;
-    step_passive(cfg_.slot);
 
-    for (auto& ph : phones_) {
-      const auto i = static_cast<std::size_t>(ph->op);
-      const auto link =
-          ph->test_ue.step(pt.time, pt.position, pt.speed, cfg_.slot);
-      const Millis base_rtt = link.air_latency * 2.0 +
-                              st[i].server.one_way_delay * 2.0;
-      const double bytes =
-          ph->flow.step(cfg_.slot, link.phy_rate(dir), base_rtt);
-      auto& w = st[i].win;
-      ++w.slots;
-      ++st[i].total_slots;
-      if (link.connected) {
-        ++w.connected_slots;
-        w.rsrp += link.rsrp.value;
-        w.mcs += dir == Direction::Downlink ? link.mcs_dl : link.mcs_ul;
-        w.bler += dir == Direction::Downlink ? link.bler_dl : link.bler_ul;
-        w.cc += dir == Direction::Downlink ? link.num_cc_dl : link.num_cc_ul;
-        ++w.tech_slots[static_cast<std::size_t>(link.tech)];
-        if (radio::is_high_speed(link.tech)) ++st[i].hs5g_slots;
-      }
-      w.bytes += bytes;
-      st[i].total_bytes += bytes;
+  const auto flush_window = [&](const TrajectoryPoint& pt) {
+    KpiSample s;
+    s.time = pt.time;
+    s.test_id = seg.test_id;
+    s.test = type;
+    s.op = ph.op;
+    s.position = pt.position;
+    s.speed = pt.speed;
+    s.tz = pt.tz;
+    s.env = pt.env;
+    s.connected = w.connected_slots > 0;
+    if (s.connected) {
+      const double n = w.connected_slots;
+      s.rsrp_dbm = w.rsrp / n;
+      s.mcs = w.mcs / n;
+      s.bler = w.bler / n;
+      s.num_cc = w.cc / n;
+      const auto it =
+          std::max_element(w.tech_slots.begin(), w.tech_slots.end());
+      s.tech = static_cast<Tech>(it - w.tech_slots.begin());
     }
+    s.tput_mbps = w.bytes * 8.0 / window_elapsed.value / 1e3;
+    const auto& hos = ph.test_ue.handovers();
+    s.handovers = static_cast<int>(hos.size() - ho_window_base);
+    ho_window_base = hos.size();
+    s.server = server.kind;
+    log.kpi.push_back(s);
+    window_tputs.push_back(s.tput_mbps);
+    w = WindowAccum{};
+    window_elapsed = Millis{0.0};
+  };
+
+  for (std::size_t j = seg.begin; j < seg.end; ++j) {
+    const TrajectoryPoint& pt = traj.points[j];
+    window_elapsed += seg.slot;
+    step_passive(ph, pt, seg.slot);
+
+    const auto link = ph.test_ue.step(pt.time, pt.position, pt.speed,
+                                      seg.slot);
+    const Millis base_rtt =
+        link.air_latency * 2.0 + server.one_way_delay * 2.0;
+    const double bytes = ph.flow.step(seg.slot, link.phy_rate(dir), base_rtt);
+    ++w.slots;
+    ++total_slots;
+    if (link.connected) {
+      ++w.connected_slots;
+      w.rsrp += link.rsrp.value;
+      w.mcs += dir == Direction::Downlink ? link.mcs_dl : link.mcs_ul;
+      w.bler += dir == Direction::Downlink ? link.bler_dl : link.bler_ul;
+      w.cc += dir == Direction::Downlink ? link.num_cc_dl : link.num_cc_ul;
+      ++w.tech_slots[static_cast<std::size_t>(link.tech)];
+      if (radio::is_high_speed(link.tech)) ++hs5g_slots;
+    }
+    w.bytes += bytes;
+    total_bytes += bytes;
 
     if (window_elapsed.value >= cfg_.sample_window.value) {
-      for (auto& ph : phones_) {
-        const auto i = static_cast<std::size_t>(ph->op);
-        auto& w = st[i].win;
-        KpiSample s;
-        s.time = pt.time;
-        s.test_id = test_id;
-        s.test = type;
-        s.op = ph->op;
-        s.position = pt.position;
-        s.speed = pt.speed;
-        s.tz = corridor_.at(pt.position).tz;
-        s.env = corridor_.at(pt.position).env;
-        s.connected = w.connected_slots > 0;
-        if (s.connected) {
-          const double n = w.connected_slots;
-          s.rsrp_dbm = w.rsrp / n;
-          s.mcs = w.mcs / n;
-          s.bler = w.bler / n;
-          s.num_cc = w.cc / n;
-          const auto it = std::max_element(w.tech_slots.begin(),
-                                           w.tech_slots.end());
-          s.tech = static_cast<Tech>(it - w.tech_slots.begin());
-        }
-        s.tput_mbps = w.bytes * 8.0 / window_elapsed.value / 1e3;
-        const auto& hos = ph->test_ue.handovers();
-        s.handovers =
-            static_cast<int>(hos.size() - st[i].ho_window_base);
-        st[i].ho_window_base = hos.size();
-        s.server = st[i].server.kind;
-        result_.logs[i].kpi.push_back(s);
-        st[i].window_tputs.push_back(s.tput_mbps);
-        w = WindowAccum{};
-      }
-      window_elapsed = Millis{0.0};
+      flush_window(pt);
+    }
+  }
+  // A test cut short (end of route, odd durations) leaves a partial window;
+  // XCAL logs it like any other period, so flush the remainder too.
+  if (w.slots > 0 && window_elapsed.value > 0.0) {
+    flush_window(traj.points[seg.end - 1]);
+  }
+
+  if (window_tputs.empty()) return;
+  const TrajectoryPoint& end_pt =
+      seg.end > seg.begin ? traj.points[seg.end - 1] : seg.start;
+  RunningStats rs;
+  for (double v : window_tputs) rs.add(v);
+  TestSummary sum;
+  sum.test_id = seg.test_id;
+  sum.test = type;
+  sum.op = ph.op;
+  sum.start = seg.start.time;
+  sum.duration =
+      Millis{static_cast<double>(seg.end - seg.begin) * seg.slot.value};
+  sum.start_position = seg.start.position;
+  sum.distance = end_pt.position - seg.start.position;
+  sum.tz = seg.start.tz;
+  sum.server = server.kind;
+  sum.mean = rs.mean();
+  sum.stddev = rs.stddev();
+  sum.samples = static_cast<int>(rs.count());
+  sum.handovers = static_cast<int>(ph.test_ue.handovers().size() - ho_base);
+  sum.frac_high_speed_5g =
+      total_slots ? static_cast<double>(hs5g_slots) / total_slots : 0.0;
+  sum.bytes_transferred = total_bytes;
+  log.tests.push_back(sum);
+}
+
+void Campaign::replay_rtt(PhoneSet& ph, const Trajectory& traj,
+                          const TrajectorySegment& seg) {
+  auto& log = result_.logs[static_cast<std::size_t>(ph.op)];
+  ph.test_ue.set_traffic(ran::TrafficProfile::Idle);
+  const auto server = servers_.select(ph.op, seg.start.position, seg.start.tz);
+  const std::size_t ho_base = ph.test_ue.handovers().size();
+  Millis since_ping{1e9};
+  std::vector<double> rtts;
+  int hs5g_slots = 0;
+  int total_slots = 0;
+
+  for (std::size_t j = seg.begin; j < seg.end; ++j) {
+    const TrajectoryPoint& pt = traj.points[j];
+    step_passive(ph, pt, seg.slot);
+
+    const auto link = ph.test_ue.step(pt.time, pt.position, pt.speed,
+                                      seg.slot);
+    ++total_slots;
+    if (link.connected && radio::is_high_speed(link.tech)) ++hs5g_slots;
+    since_ping += seg.slot;
+    if (since_ping.value >= cfg_.ping_interval.value) {
+      since_ping = Millis{0.0};
+      const auto rtt = net::ping_rtt(link, server.one_way_delay, ph.rng);
+      RttSample s;
+      s.time = pt.time;
+      s.test_id = seg.test_id;
+      s.op = ph.op;
+      s.position = pt.position;
+      s.speed = pt.speed;
+      s.tz = pt.tz;
+      s.success = rtt.has_value();
+      s.rtt_ms = rtt ? rtt->value : 0.0;
+      s.connected = link.connected;
+      s.tech = link.tech;
+      s.server = server.kind;
+      log.rtt.push_back(s);
+      if (rtt) rtts.push_back(rtt->value);
     }
   }
 
-  const TripPoint end_pt = trip_.current();
-  for (auto& ph : phones_) {
-    const auto i = static_cast<std::size_t>(ph->op);
-    if (st[i].window_tputs.empty()) continue;
-    RunningStats rs;
-    for (double v : st[i].window_tputs) rs.add(v);
-    TestSummary sum;
-    sum.test_id = test_id;
-    sum.test = type;
-    sum.op = ph->op;
-    sum.start = start_pt.time;
-    sum.duration = elapsed;
-    sum.start_position = start_pt.position;
-    sum.distance = end_pt.position - start_pt.position;
-    sum.tz = start_tz;
-    sum.server = st[i].server.kind;
-    sum.mean = rs.mean();
-    sum.stddev = rs.stddev();
-    sum.samples = static_cast<int>(rs.count());
-    sum.handovers = static_cast<int>(ph->test_ue.handovers().size() -
-                                     st[i].ho_base);
-    sum.frac_high_speed_5g =
-        st[i].total_slots
-            ? static_cast<double>(st[i].hs5g_slots) / st[i].total_slots
-            : 0.0;
-    sum.bytes_transferred = st[i].total_bytes;
-    result_.logs[i].tests.push_back(sum);
+  if (rtts.empty()) return;
+  const TrajectoryPoint& end_pt =
+      seg.end > seg.begin ? traj.points[seg.end - 1] : seg.start;
+  RunningStats rs;
+  for (double v : rtts) rs.add(v);
+  TestSummary sum;
+  sum.test_id = seg.test_id;
+  sum.test = TestType::Ping;
+  sum.op = ph.op;
+  sum.start = seg.start.time;
+  sum.duration =
+      Millis{static_cast<double>(seg.end - seg.begin) * seg.slot.value};
+  sum.start_position = seg.start.position;
+  sum.distance = end_pt.position - seg.start.position;
+  sum.tz = seg.start.tz;
+  sum.server = server.kind;
+  sum.mean = rs.mean();
+  sum.stddev = rs.stddev();
+  sum.samples = static_cast<int>(rs.count());
+  sum.handovers = static_cast<int>(ph.test_ue.handovers().size() - ho_base);
+  sum.frac_high_speed_5g =
+      total_slots ? static_cast<double>(hs5g_slots) / total_slots : 0.0;
+  log.tests.push_back(sum);
+}
+
+void Campaign::replay_idle(PhoneSet& ph, const Trajectory& traj,
+                           const TrajectorySegment& seg) {
+  ph.test_ue.set_traffic(ran::TrafficProfile::Idle);
+  for (std::size_t j = seg.begin; j < seg.end; ++j) {
+    const TrajectoryPoint& pt = traj.points[j];
+    step_passive(ph, pt, seg.slot);
+    ph.test_ue.step(pt.time, pt.position, pt.speed, seg.slot);
   }
 }
 
-void Campaign::run_rtt_test(int test_id) {
-  struct PhoneTestState {
-    net::ServerEndpoint server;
-    Millis since_ping{1e9};
-    std::vector<double> rtts;
-    int hs5g_slots = 0;
-    int total_slots = 0;
-    std::size_t ho_base = 0;
-  };
-  std::array<PhoneTestState, 3> st;
-
-  const TripPoint start_pt = trip_.current();
-  const TimeZone start_tz = corridor_.at(start_pt.position).tz;
-  for (auto& ph : phones_) {
-    const auto i = static_cast<std::size_t>(ph->op);
-    ph->test_ue.set_traffic(ran::TrafficProfile::Idle);
-    st[i].server = servers_.select(ph->op, start_pt.position, start_tz);
-    st[i].ho_base = ph->test_ue.handovers().size();
-  }
-
-  Millis elapsed{0.0};
-  while (elapsed.value < cfg_.rtt_test_duration.value && !trip_.finished()) {
-    const TripPoint pt = trip_.advance(cfg_.slot);
-    elapsed += cfg_.slot;
-    step_passive(cfg_.slot);
-
-    for (auto& ph : phones_) {
-      const auto i = static_cast<std::size_t>(ph->op);
-      const auto link =
-          ph->test_ue.step(pt.time, pt.position, pt.speed, cfg_.slot);
-      ++st[i].total_slots;
-      if (link.connected && radio::is_high_speed(link.tech)) {
-        ++st[i].hs5g_slots;
-      }
-      st[i].since_ping += cfg_.slot;
-      if (st[i].since_ping.value >= cfg_.ping_interval.value) {
-        st[i].since_ping = Millis{0.0};
-        const auto rtt =
-            net::ping_rtt(link, st[i].server.one_way_delay, ph->rng);
-        RttSample s;
-        s.time = pt.time;
-        s.test_id = test_id;
-        s.op = ph->op;
-        s.position = pt.position;
-        s.speed = pt.speed;
-        s.tz = corridor_.at(pt.position).tz;
-        s.success = rtt.has_value();
-        s.rtt_ms = rtt ? rtt->value : 0.0;
-        s.connected = link.connected;
-        s.tech = link.tech;
-        s.server = st[i].server.kind;
-        result_.logs[i].rtt.push_back(s);
-        if (rtt) st[i].rtts.push_back(rtt->value);
-      }
+void Campaign::replay_operator(PhoneSet& ph, const Trajectory& traj) {
+  for (const auto& seg : traj.segments) {
+    switch (seg.kind) {
+      case SegmentKind::BulkDl:
+        replay_bulk(ph, traj, seg, TestType::DownlinkBulk);
+        break;
+      case SegmentKind::BulkUl:
+        replay_bulk(ph, traj, seg, TestType::UplinkBulk);
+        break;
+      case SegmentKind::Rtt:
+        replay_rtt(ph, traj, seg);
+        break;
+      case SegmentKind::Gap:
+      case SegmentKind::FastForward:
+        replay_idle(ph, traj, seg);
+        break;
     }
   }
-
-  const TripPoint end_pt = trip_.current();
-  for (auto& ph : phones_) {
-    const auto i = static_cast<std::size_t>(ph->op);
-    if (st[i].rtts.empty()) continue;
-    RunningStats rs;
-    for (double v : st[i].rtts) rs.add(v);
-    TestSummary sum;
-    sum.test_id = test_id;
-    sum.test = TestType::Ping;
-    sum.op = ph->op;
-    sum.start = start_pt.time;
-    sum.duration = elapsed;
-    sum.start_position = start_pt.position;
-    sum.distance = end_pt.position - start_pt.position;
-    sum.tz = start_tz;
-    sum.server = st[i].server.kind;
-    sum.mean = rs.mean();
-    sum.stddev = rs.stddev();
-    sum.samples = static_cast<int>(rs.count());
-    sum.handovers = static_cast<int>(ph->test_ue.handovers().size() -
-                                     st[i].ho_base);
-    sum.frac_high_speed_5g =
-        st[i].total_slots
-            ? static_cast<double>(st[i].hs5g_slots) / st[i].total_slots
-            : 0.0;
-    result_.logs[i].tests.push_back(sum);
-  }
-}
-
-void Campaign::run_gap(Millis duration) {
-  const Millis step{100.0};
-  for (auto& ph : phones_) {
-    ph->test_ue.set_traffic(ran::TrafficProfile::Idle);
-  }
-  Millis elapsed{0.0};
-  while (elapsed.value < duration.value && !trip_.finished()) {
-    const TripPoint pt = trip_.advance(step);
-    elapsed += step;
-    step_passive(step);
-    for (auto& ph : phones_) {
-      ph->test_ue.step(pt.time, pt.position, pt.speed, step);
-    }
-  }
-}
-
-void Campaign::fast_forward_cycle() {
-  const double cycle_ms = 2.0 * cfg_.tput_test_duration.value +
-                          cfg_.rtt_test_duration.value +
-                          3.0 * cfg_.gap.value;
-  run_gap(Millis{cycle_ms});
 }
 
 const CampaignResult& Campaign::run() {
+  const std::lock_guard<std::mutex> lock(run_mu_);
   if (ran_) return result_;
-  ran_ = true;
 
-  int cycle = 0;
-  int test_id = 0;
-  while (!trip_.finished()) {
-    if (cfg_.cycle_stride > 1 && (cycle % cfg_.cycle_stride) != 0) {
-      fast_forward_cycle();
-    } else {
-      run_bulk_test(TestType::DownlinkBulk, test_id++);
-      run_gap(cfg_.gap);
-      run_bulk_test(TestType::UplinkBulk, test_id++);
-      run_gap(cfg_.gap);
-      run_rtt_test(test_id++);
-      run_gap(cfg_.gap);
-    }
-    ++cycle;
-  }
+  // Phase 1 (sequential, cheap): drive the route once, recording the
+  // schedule. Phase 2 (parallel): each operator replays the recording on
+  // its own worker, touching only its own RNG streams and logs slot.
+  const Trajectory traj = record_trajectory(trip_, corridor_, cfg_);
+  parallel_for_each(jobs_, phones_.size(), [&](std::size_t i) {
+    replay_operator(*phones_[i], traj);
+  });
 
   for (auto& ph : phones_) {
     const auto i = static_cast<std::size_t>(ph->op);
@@ -374,11 +339,12 @@ const CampaignResult& Campaign::run() {
     std::sort(cells.begin(), cells.end());
     cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
     log.unique_cells = cells.size();
-    log.experiment_runtime = trip_.total_drive_time();
+    log.experiment_runtime = traj.total_drive_time;
   }
   result_.route_length = route_.length();
-  result_.days = trip_.current().day;
-  result_.drive_time = trip_.total_drive_time();
+  result_.days = traj.days;
+  result_.drive_time = traj.total_drive_time;
+  ran_ = true;
   return result_;
 }
 
@@ -387,9 +353,17 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
   out.op = op;
   const auto& dep = deployment(op);
   const auto& profile = ran::operator_profile(op);
-  Rng rng = rng_.fork("static").fork(to_string(op));
+  const Rng base = rng_.fork("static").fork(to_string(op));
 
-  for (const auto& city : route_.cities()) {
+  struct CityRun {
+    bool tested = false;
+    std::vector<double> dl, ul, rtt;
+  };
+  const auto& cities = route_.cities();
+  std::vector<CityRun> runs(cities.size());
+
+  parallel_for_each(jobs_, cities.size(), [&](std::size_t ci) {
+    const auto& city = cities[ci];
     // Find the best high-speed-5G site near the city center: the nearest
     // mmWave cell within the urban core, else the nearest mid-band one.
     const ran::Cell* site = nullptr;
@@ -404,8 +378,9 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
       }
       if (site) break;  // prefer mmWave; fall back to mid-band
     }
-    if (!site) continue;  // operator-city combo skipped, like the study
-    ++out.cities_tested;
+    if (!site) return;  // operator-city combo skipped, like the study
+    CityRun& cr = runs[ci];
+    cr.tested = true;
 
     const Meters pos = site->route_pos;  // standing right by the site
     CivilTime noon;
@@ -414,10 +389,14 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
     SimTime t = from_civil(noon, corridor_.at(pos).tz);
     const auto server = servers_.select(op, pos, corridor_.at(pos).tz);
 
-    ran::UeSimulator ue(corridor_, dep, profile, rng.fork(city.name),
+    // Every stream this city consumes forks from its own label so cities
+    // never race (or depend) on one another's draws.
+    const Rng city_rng = base.fork(city.name);
+    ran::UeSimulator ue(corridor_, dep, profile, city_rng,
                         ran::TrafficProfile::BackloggedDl);
     ue.set_favourable_conditions(true);
-    net::CubicFlow flow(rng.fork(city.name).fork("tcp"));
+    net::CubicFlow flow(city_rng.fork("tcp"));
+    Rng ping_rng = city_rng.fork("ping");
 
     auto run_bulk = [&](Direction dir, std::vector<double>& sink) {
       ue.set_traffic(dir == Direction::Downlink
@@ -442,8 +421,8 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
         }
       }
     };
-    run_bulk(Direction::Downlink, out.dl_tput_mbps);
-    run_bulk(Direction::Uplink, out.ul_tput_mbps);
+    run_bulk(Direction::Downlink, cr.dl);
+    run_bulk(Direction::Uplink, cr.ul);
 
     // RTT test (light ICMP traffic).
     ue.set_traffic(ran::TrafficProfile::Idle);
@@ -456,11 +435,23 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
       if (since_ping.value >= cfg_.ping_interval.value) {
         since_ping = Millis{0.0};
         if (const auto rtt =
-                net::ping_rtt(link, server.one_way_delay, rng)) {
-          out.rtt_ms.push_back(rtt->value);
+                net::ping_rtt(link, server.one_way_delay, ping_rng)) {
+          cr.rtt.push_back(rtt->value);
         }
       }
     }
+  });
+
+  // Merge in route (city) order: the output is a pure function of the
+  // config, never of worker scheduling.
+  for (const auto& cr : runs) {
+    if (!cr.tested) continue;
+    ++out.cities_tested;
+    out.dl_tput_mbps.insert(out.dl_tput_mbps.end(), cr.dl.begin(),
+                            cr.dl.end());
+    out.ul_tput_mbps.insert(out.ul_tput_mbps.end(), cr.ul.begin(),
+                            cr.ul.end());
+    out.rtt_ms.insert(out.rtt_ms.end(), cr.rtt.begin(), cr.rtt.end());
   }
   return out;
 }

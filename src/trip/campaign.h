@@ -3,10 +3,18 @@
 // 20 s ICMP RTT) simultaneously on three phones (one per operator), while
 // three passive "handover-logger" phones record technology and handovers
 // continuously. Also provides the per-city static baselines of Fig. 3a.
+//
+// Execution model (see DESIGN.md "Parallel execution model"): the drive is
+// recorded once into a Trajectory, then each operator's PhoneSet replays it
+// on its own worker thread. Results are bit-identical for any jobs count
+// because every stochastic process is pinned to per-operator (or per-city)
+// Rng forks and outputs land in per-operator slots assembled in fixed
+// order.
 #pragma once
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/rng.h"
@@ -18,6 +26,7 @@
 #include "trip/records.h"
 #include "trip/region.h"
 #include "trip/route.h"
+#include "trip/trajectory.h"
 #include "trip/trip_simulator.h"
 
 namespace wheels::trip {
@@ -35,6 +44,8 @@ struct CampaignConfig {
   // but the same geographic spread.
   int cycle_stride = 1;
   DriveConfig drive{};
+  // Execution knobs (worker count) live outside this struct on purpose:
+  // they must never affect the dataset fingerprint or the result bytes.
 };
 
 struct CampaignResult {
@@ -71,16 +82,23 @@ class Campaign {
   Campaign(const Campaign&) = delete;
   Campaign& operator=(const Campaign&) = delete;
 
-  // Run the full driving campaign (idempotent: the first call simulates,
-  // later calls return the same result). The reference stays valid for the
-  // lifetime of the Campaign; copy every sample vector only if you need it
-  // to outlive the instance.
+  // Run the full driving campaign (idempotent and safe to call from
+  // several threads: the first call simulates, later calls return the same
+  // result). The reference stays valid for the lifetime of the Campaign;
+  // copy every sample vector only if you need it to outlive the instance.
   const CampaignResult& run();
 
   // Static measurements near the best high-speed-5G site of each major
   // city (skipping operator-city pairs without mmWave/mid-band, like the
-  // study did).
+  // study did). Cities fan out across workers; samples are merged in route
+  // order so the result is independent of the jobs count.
   StaticBaseline run_static_baseline(ran::OperatorId op);
+
+  // Worker threads used by run()/run_static_baseline. jobs <= 0 resolves
+  // from WHEELS_JOBS (default 1). Changing it never changes results, only
+  // wall-clock time.
+  void set_jobs(int jobs);
+  [[nodiscard]] int jobs() const { return jobs_; }
 
   [[nodiscard]] const Route& route() const { return route_; }
   [[nodiscard]] const ran::Corridor& corridor() const { return corridor_; }
@@ -89,11 +107,14 @@ class Campaign {
  private:
   struct PhoneSet;  // per-operator UEs + TCP flow + bookkeeping
 
-  void run_bulk_test(TestType type, int test_id);
-  void run_rtt_test(int test_id);
-  void run_gap(Millis duration);
-  void fast_forward_cycle();
-  void step_passive(Millis dt);
+  void replay_operator(PhoneSet& ph, const Trajectory& traj);
+  void replay_bulk(PhoneSet& ph, const Trajectory& traj,
+                   const TrajectorySegment& seg, TestType type);
+  void replay_rtt(PhoneSet& ph, const Trajectory& traj,
+                  const TrajectorySegment& seg);
+  void replay_idle(PhoneSet& ph, const Trajectory& traj,
+                   const TrajectorySegment& seg);
+  void step_passive(PhoneSet& ph, const TrajectoryPoint& pt, Millis dt);
 
   CampaignConfig cfg_;
   Rng rng_;
@@ -104,6 +125,8 @@ class Campaign {
   TripSimulator trip_;
   std::vector<std::unique_ptr<PhoneSet>> phones_;
   CampaignResult result_;
+  int jobs_ = 1;
+  std::mutex run_mu_;
   bool ran_ = false;
 };
 

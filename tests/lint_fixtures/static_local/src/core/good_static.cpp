@@ -1,0 +1,31 @@
+// Compliant counterparts: everything here must stay quiet.
+#include <array>
+#include <atomic>
+#include <string>
+
+namespace wheels {
+
+// Namespace-scope state is outside the rule (no magic-static guard).
+static int namespace_scope_counter = 0;
+
+struct Registry {
+  static Registry instance();  // member declaration, not a local
+  static int live_count;       // static data member, not a local
+  int size() const { return 0; }
+};
+
+int table_lookup(int i) {
+  static constexpr std::array<int, 3> table = {1, 2, 3};  // constexpr: exempt
+  static const std::string kLabel = "ok";                 // const: exempt
+  return table[static_cast<unsigned>(i) % table.size()] +
+         static_cast<int>(kLabel.size());
+}
+
+int suppressed_site() {
+  // A reviewed, constant-initialised atomic is allowed with a suppression.
+  // wheels-lint: allow(static-local)
+  static std::atomic<int> hits{0};
+  return hits.fetch_add(1) + namespace_scope_counter;
+}
+
+}  // namespace wheels

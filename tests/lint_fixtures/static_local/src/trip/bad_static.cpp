@@ -1,0 +1,28 @@
+// Mutable function-local statics: every site below is lazily initialised
+// on first call, which is a data race the moment two campaign workers
+// enter the function concurrently.
+#include <string>
+#include <vector>
+
+namespace wheels::trip {
+
+int next_id() {
+  static int counter = 0;  // line 10: plain mutable magic static
+  return ++counter;
+}
+
+const std::string& lazy_name() {
+  static std::string name = "campaign";  // line 15: dynamic init races
+  return name;
+}
+
+double rolling_sum(double x) {
+  if (x > 0.0) {
+    static std::vector<double> window;  // line 21: static in nested block
+    window.push_back(x);
+    return window.back();
+  }
+  return 0.0;
+}
+
+}  // namespace wheels::trip

@@ -123,6 +123,23 @@ class DuplicateFork(unittest.TestCase):
         self.assertEqual(out.count("duplicate-fork"), 1, out)
 
 
+class StaticLocal(unittest.TestCase):
+    def test_mutable_function_local_statics_fire(self):
+        code, out = run_lint("static_local")
+        self.assertEqual(code, 1, out)
+        # Plain int, dynamically-initialised string, static in a nested
+        # block -- and nothing else.
+        self.assertEqual(out.count("static-local"), 3, out)
+        for line in (10, 15, 21):
+            self.assertIn(f"bad_static.cpp:{line}:", out)
+
+    def test_compliant_statics_stay_quiet(self):
+        # const/constexpr locals, namespace-scope statics, static member
+        # declarations and a suppressed atomic are all allowed.
+        _, out = run_lint("static_local")
+        self.assertNotIn("good_static.cpp", out)
+
+
 class AllowSuppression(unittest.TestCase):
     def test_allow_comment_suppresses_same_and_previous_line(self):
         code, out = run_lint("allow_suppression")

@@ -7,13 +7,16 @@
 #                        on an empty cache; no simulation)
 #   3. werror build      expanded warning set promoted to errors
 #   4. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
-#   5. clang-tidy        only when clang-tidy is installed (optional stage)
+#   5. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
+#                        under ThreadSanitizer (the parallel replay path)
+#   6. clang-tidy        only when clang-tidy is installed (optional stage)
 #
 # Usage: tools/run_static_analysis.sh [--quick]
-#   --quick     skip the sanitizer ctest run (stages 1-3 only)
+#   --quick     skip the sanitizer ctest runs (stages 1-3 only)
 #
 # Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_DATASET=0, WHEELS_CI_WERROR=0,
-#              WHEELS_CI_SANITIZE=0, WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
+#              WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0,
+#              WHEELS_CI_JOBS=<n>
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -91,7 +94,20 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
     ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 5: clang-tidy (best effort: optional in the container) ----------
+# --- Stage 5: tsan over the parallel campaign path --------------------------
+# The deterministic parallel engine's data-race gate: thread-pool unit
+# tests plus the jobs=1 == jobs=4 determinism proofs, all with
+# WHEELS_JOBS=4 (set by the tsan-parallel test preset) so every pool and
+# replay worker actually spawns.
+if [[ "$QUICK" == 0 && "${WHEELS_CI_TSAN:-1}" == 1 ]]; then
+  banner "tsan-parallel build + ctest (WHEELS_JOBS=4)"
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "$JOBS" || FAILURES=$((FAILURES + 1))
+  TSAN_OPTIONS="halt_on_error=1:exitcode=99" \
+    ctest --preset tsan-parallel || FAILURES=$((FAILURES + 1))
+fi
+
+# --- Stage 6: clang-tidy (best effort: optional in the container) ----------
 if [[ "${WHEELS_CI_TIDY:-1}" == 1 ]]; then
   if command -v clang-tidy >/dev/null 2>&1; then
     banner "clang-tidy"

@@ -24,9 +24,12 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "apps/app_campaign.h"
 #include "core/csv.h"
 #include "core/table.h"
+#include "core/thread_pool.h"
 #include "dataset/cache.h"
 #include "dataset/fingerprint.h"
 #include "dataset/provider.h"
@@ -55,6 +58,9 @@ int usage(std::ostream& os, int code) {
         "  --stride N       measurement-campaign cycle stride (default 8)\n"
         "  --apps-stride N  app-campaign cycle stride (default 10)\n"
         "  --seed S         campaign seed (default 42)\n"
+        "  --jobs N         worker threads for generate (default: the\n"
+        "                   WHEELS_JOBS env var, else 1); any N produces\n"
+        "                   byte-identical datasets\n"
         "  --skip-apps      generate: measurement campaign only\n"
         "  --skip-static    generate: skip the static baselines\n"
         "  --out DIR        export-csv: output directory (default .)\n";
@@ -80,6 +86,7 @@ struct Options {
   int stride = 8;
   int apps_stride = 10;
   std::uint64_t seed = 42;
+  int jobs = 0;  // 0 = resolve from WHEELS_JOBS
   bool skip_apps = false;
   bool skip_static = false;
 };
@@ -113,6 +120,8 @@ Options parse_options(int argc, char** argv) {
     } else if (arg == "--seed") {
       o.seed =
           static_cast<std::uint64_t>(parse_long_or_exit(value(), "--seed"));
+    } else if (arg == "--jobs") {
+      o.jobs = static_cast<int>(parse_long_or_exit(value(), "--jobs"));
     } else if (arg == "--skip-apps") {
       o.skip_apps = true;
     } else if (arg == "--skip-static") {
@@ -147,8 +156,32 @@ int cmd_generate(const Options& o) {
   dataset::ProviderOptions popts;
   popts.cache_dir = o.dir;
   popts.verbose = true;
+  popts.jobs = o.jobs;
   dataset::CampaignProvider provider(popts);
   const auto cfg = campaign_config(o);
+  const auto acfg = app_config(o);
+
+  // Materialize every requested dataset up front (concurrently when --jobs
+  // or WHEELS_JOBS allows), then print the report from the warm memo: the
+  // stdout is identical for every jobs value.
+  std::vector<std::function<void()>> work;
+  work.emplace_back([&] { provider.load_or_run(cfg); });
+  if (!o.skip_static) {
+    for (auto op : ran::kAllOperators) {
+      work.emplace_back([&, op] { provider.load_or_run_static(cfg, op); });
+    }
+  }
+  if (!o.skip_apps) {
+    work.emplace_back([&] { provider.load_or_run_apps(acfg); });
+    if (!o.skip_static) {
+      for (auto op : ran::kAllOperators) {
+        work.emplace_back(
+            [&, op] { provider.load_or_run_apps_static(acfg, op); });
+      }
+    }
+  }
+  parallel_for_each(provider.jobs(), work.size(),
+                    [&](std::size_t i) { work[i](); });
 
   std::cout << "dataset cache: " << provider.cache().dir() << "\n";
   const auto& res = provider.load_or_run(cfg);
@@ -164,7 +197,6 @@ int cmd_generate(const Options& o) {
     }
   }
   if (!o.skip_apps) {
-    const auto acfg = app_config(o);
     const auto& ares = provider.load_or_run_apps(acfg);
     std::cout << "app campaign (stride " << acfg.cycle_stride << "): "
               << ares.for_op(ran::OperatorId::Verizon).size()

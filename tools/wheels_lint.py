@@ -25,6 +25,12 @@ enforces it mechanically:
                     function of (parent state, label), so duplicated labels
                     yield bit-identical streams and silently correlate
                     processes that were meant to be independent.
+  static-local      function-local `static` variables in src/ that are not
+                    const/constexpr/constinit. Mutable magic statics are
+                    lazily initialised on first use, which races when the
+                    parallel campaign engine touches a module from several
+                    workers at once; hoist to a namespace-scope constinit
+                    object or pass explicit state instead.
   pragma-once       every header must start its include guard with
                     #pragma once.
   include-hygiene   quoted includes in src/ must be module-qualified
@@ -112,6 +118,9 @@ RULES = {
         "iteration over unordered container (nondeterministic order)",
     "duplicate-fork":
         "same string-literal rng fork label twice on one parent in a scope",
+    "static-local":
+        "mutable function-local static in src/ (init races under the "
+        "parallel campaign engine)",
     "pragma-once":
         "header missing #pragma once",
     "include-hygiene":
@@ -327,6 +336,73 @@ def check_duplicate_fork(relpath: str, text: str) -> list[Finding]:
     return findings
 
 
+STATIC_RE = re.compile(r"\bstatic\b")
+SCOPE_TYPE_RE = re.compile(r"\b(class|struct|union|enum|namespace)\b")
+STATIC_EXEMPT_RE = re.compile(r"\b(const|constexpr|constinit)\b")
+
+
+def check_static_local(relpath: str, text: str) -> list[Finding]:
+    """`text` has comments and strings blanked. Walks brace scopes and
+    classifies each opener as type/namespace scope, function scope, or a
+    brace-init list (which inherits its parent); a `static` at function
+    scope without const/constexpr/constinit is a mutable magic static."""
+    if not relpath.startswith("src/"):
+        return []
+    matches = {m.start(): m for m in STATIC_RE.finditer(text)}
+    if not matches:
+        return []
+    findings = []
+    stack: list[str] = []  # resolved scope kinds: "type" | "func" | "other"
+    chunk_start = 0  # start of the text chunk heading the next `{`
+    line = 1
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if i in matches and (stack and stack[-1] == "func"):
+            m = matches[i]
+            # The declaration runs from the keyword to the first token that
+            # ends the declarator head; qualifiers always precede it.
+            stop = len(text)
+            for term in (";", "=", "{", "("):
+                pos = text.find(term, m.end())
+                if pos != -1:
+                    stop = min(stop, pos)
+            if not STATIC_EXEMPT_RE.search(text[m.end():stop]):
+                findings.append(
+                    Finding(
+                        relpath, line, "static-local",
+                        "mutable function-local static: first-use "
+                        "initialisation races once the parallel campaign "
+                        "engine calls this from worker threads; hoist to a "
+                        "namespace-scope constinit/constexpr object or pass "
+                        "the state explicitly"))
+        if c == "\n":
+            line += 1
+        elif c == ";":
+            chunk_start = i + 1
+        elif c == "{":
+            header = text[chunk_start:i]
+            if SCOPE_TYPE_RE.search(header):
+                kind = "type"
+            elif re.search(r"[=,(\[{]\s*$", header.rstrip()) or not header.strip():
+                # Brace-init list (or a bare block): inherit the parent.
+                kind = stack[-1] if stack else "other"
+            elif ")" in header:
+                # Function body, lambda, or a control statement -- all of
+                # which are (inside) function scope.
+                kind = "func"
+            else:
+                kind = stack[-1] if stack else "other"
+            stack.append(kind)
+            chunk_start = i + 1
+        elif c == "}":
+            if stack:
+                stack.pop()
+            chunk_start = i + 1
+        i += 1
+    return findings
+
+
 def check_pragma_once(relpath: str, text: str) -> list[Finding]:
     if not relpath.endswith((".h", ".hpp")):
         return []
@@ -409,6 +485,7 @@ def lint_file(path: str, root: str, module_dirs: set[str]) -> list[Finding]:
     findings += check_unordered_iter(relpath, lines)
     findings += check_duplicate_fork(
         relpath, strip_comments_and_strings(raw, keep_strings=True))
+    findings += check_static_local(relpath, stripped)
     findings += check_pragma_once(relpath, stripped)
     findings += check_include_hygiene(relpath, stripped, module_dirs)
 

@@ -1,0 +1,54 @@
+# Header self-sufficiency gate.
+#
+# Emits one synthetic translation unit per public header under src/
+# (each TU is just `#include "<module>/<header>.h"`) and compiles them
+# all into an OBJECT library under the expanded werror flag set. A
+# header that leans on its includer having pulled in a dependency first
+# fails this build immediately, instead of rotting until some unlucky
+# reordering of includes in a future TU exposes it.
+#
+# The target is part of ALL (the TUs are tiny, so the cost is noise) and
+# also registered as the `header_selfcheck` ctest entry so the gate runs
+# under the tier-1 suite. The werror flags are applied per-target rather
+# than through WHEELS_WERROR so the gate stays strict even in default
+# developer builds.
+
+function(wheels_add_header_selfcheck)
+  file(GLOB_RECURSE _wheels_public_headers CONFIGURE_DEPENDS
+       ${CMAKE_SOURCE_DIR}/src/*.h ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  list(SORT _wheels_public_headers)
+
+  set(_tu_dir ${CMAKE_BINARY_DIR}/header_selfcheck)
+  set(_tus "")
+  foreach(_hdr IN LISTS _wheels_public_headers)
+    file(RELATIVE_PATH _rel ${CMAKE_SOURCE_DIR}/src ${_hdr})
+    string(REPLACE "/" "_" _stem ${_rel})
+    set(_tu ${_tu_dir}/check_${_stem}.cpp)
+    set(_content "#include \"${_rel}\"  // self-sufficiency check\n")
+    # Rewrite only on content change so incremental builds stay no-ops.
+    if(EXISTS ${_tu})
+      file(READ ${_tu} _existing)
+    else()
+      set(_existing "")
+    endif()
+    if(NOT _existing STREQUAL _content)
+      file(WRITE ${_tu} ${_content})
+    endif()
+    list(APPEND _tus ${_tu})
+  endforeach()
+
+  add_library(header_selfcheck OBJECT ${_tus})
+  target_include_directories(header_selfcheck PRIVATE ${CMAKE_SOURCE_DIR}/src)
+  target_compile_options(header_selfcheck PRIVATE
+    -Werror
+    -Wconversion
+    -Wshadow
+    -Wdouble-promotion
+    -Wold-style-cast)
+
+  add_test(NAME header_selfcheck
+           COMMAND ${CMAKE_COMMAND}
+                   --build ${CMAKE_BINARY_DIR}
+                   --target header_selfcheck)
+  set_tests_properties(header_selfcheck PROPERTIES TIMEOUT 600)
+endfunction()

@@ -1,0 +1,2 @@
+#include "core/c.h"
+int use_c() { return C{}.v; }

@@ -1,0 +1,2 @@
+#include "core/x.h"
+int use_x() { return X{}.v; }

@@ -1,0 +1,5 @@
+#pragma once
+#include "core/y.h"
+struct X {
+  int v = 0;
+};

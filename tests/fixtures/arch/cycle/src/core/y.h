@@ -1,0 +1,5 @@
+#pragma once
+#include "core/x.h"
+struct Y {
+  int v = 1;
+};

@@ -1,0 +1,2 @@
+#include "core/a.h"
+int use_a() { return A{}.x; }

@@ -1,0 +1,5 @@
+#pragma once
+#include "core/a.h"
+struct B {
+  A a;
+};

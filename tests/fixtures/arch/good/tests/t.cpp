@@ -1,0 +1,2 @@
+#include "radio/b.h"
+int test_b() { return B{}.a.x; }

@@ -1,0 +1,2 @@
+#include "core/bad.h"
+int use_bad() { return Bad{}.t.hops; }

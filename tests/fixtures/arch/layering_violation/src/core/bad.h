@@ -1,0 +1,5 @@
+#pragma once
+#include "trip/t.h"
+struct Bad {
+  T t;
+};

@@ -1,0 +1,2 @@
+#include "trip/t.h"
+int use_t() { return T{}.hops; }

@@ -1,0 +1,4 @@
+#pragma once
+struct T {
+  int hops = 0;
+};

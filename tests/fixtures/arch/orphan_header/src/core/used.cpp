@@ -1,0 +1,2 @@
+#include "core/used.h"
+int use_used() { return Used{}.v; }

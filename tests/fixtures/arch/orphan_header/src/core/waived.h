@@ -1,0 +1,4 @@
+#pragma once
+struct Waived {
+  int v = 0;
+};

@@ -1,0 +1,2 @@
+#include "core/orphan.h"
+int test_orphan() { return Orphan{}.v; }

@@ -1,0 +1,5 @@
+#pragma once
+// Deliberately relies on the includer having pulled in <vector> first:
+// compiled standalone this header must fail, which is exactly what the
+// header_selfcheck gate exists to catch.
+inline std::size_t bad_count(const std::vector<int>& v) { return v.size(); }

@@ -1,0 +1,3 @@
+#pragma once
+#include <vector>
+inline std::size_t good_count(const std::vector<int>& v) { return v.size(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int dep_value() { return 7; }

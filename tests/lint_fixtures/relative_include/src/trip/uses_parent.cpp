@@ -1,0 +1,6 @@
+#include "core/dep.h"
+#include "../core/dep.h"
+// wheels-lint: allow(relative-include)
+#include "../core/dep.h"
+
+int consume() { return dep_value(); }

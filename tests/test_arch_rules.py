@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Tests for tools/wheels_arch.py and the header self-sufficiency gate.
+
+Each fixture directory under tests/fixtures/arch/ is a miniature repo
+(src/<module>/..., tools/layers.json) run through the analyzer with
+--root. A rule only counts as enforced if it (a) fires on the violating
+tree at the expected location and (b) stays quiet on the adjacent
+compliant tree. The selfcheck fixtures are compiled directly (the same
+synthetic-TU recipe the CMake `header_selfcheck` target generates) to
+prove a transitively-dependent header actually fails standalone.
+
+Run directly (python3 tests/test_arch_rules.py) or via ctest.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TESTS_DIR)
+ARCH = os.path.join(REPO_ROOT, "tools", "wheels_arch.py")
+FIXTURES = os.path.join(TESTS_DIR, "fixtures", "arch")
+
+SELFCHECK_FLAGS = [
+    "-std=c++20", "-fsyntax-only", "-Wall", "-Wextra", "-Werror",
+    "-Wconversion", "-Wshadow", "-Wdouble-promotion", "-Wold-style-cast",
+]
+
+
+def run_arch(fixture, *extra):
+    root = os.path.join(FIXTURES, fixture)
+    proc = subprocess.run(
+        [sys.executable, ARCH, "--root", root, *extra],
+        capture_output=True,
+        text=True,
+        check=False)
+    return proc.returncode, proc.stdout
+
+
+def find_cxx():
+    for name in (os.environ.get("CXX"), "c++", "g++", "clang++"):
+        if name and shutil.which(name):
+            return shutil.which(name)
+    return None
+
+
+class GoodFixture(unittest.TestCase):
+    def test_clean_tree_passes(self):
+        code, out = run_arch("good")
+        self.assertEqual(code, 0, out)
+        self.assertIn("OK", out)
+
+    def test_dot_export_contains_module_edges(self):
+        code, out = run_arch("good", "--dot")
+        self.assertEqual(code, 0, out)
+        self.assertIn("digraph", out)
+        self.assertIn('"radio" -> "core"', out)
+        # DOT mode never reports findings, even on a violating tree.
+        code, out = run_arch("layering_violation", "--dot")
+        self.assertEqual(code, 0, out)
+
+
+class Layering(unittest.TestCase):
+    def test_disallowed_edge_fires_with_location(self):
+        code, out = run_arch("layering_violation")
+        self.assertEqual(code, 1, out)
+        self.assertIn("layer-violation", out)
+        # Reported at the offending #include line.
+        self.assertIn("src/core/bad.h:2:", out)
+        self.assertIn("'core' may not include from 'trip'", out)
+
+    def test_allowed_downward_edge_is_quiet(self):
+        _, out = run_arch("layering_violation")
+        # trip -> core is declared; only the upward edge fires.
+        self.assertEqual(out.count("layer-violation"), 1, out)
+
+
+class Cycles(unittest.TestCase):
+    def test_cycle_reported_with_full_path(self):
+        code, out = run_arch("cycle")
+        self.assertEqual(code, 1, out)
+        self.assertIn("include-cycle", out)
+        self.assertIn(
+            "src/core/x.h -> src/core/y.h -> src/core/x.h", out)
+
+    def test_each_cycle_reported_once(self):
+        _, out = run_arch("cycle")
+        self.assertEqual(out.count("include-cycle"), 1, out)
+
+
+class OrphanHeaders(unittest.TestCase):
+    def test_test_only_header_is_an_orphan(self):
+        # orphan.h is included by tests/use_orphan.cpp only; test TUs do
+        # not keep a public header alive.
+        code, out = run_arch("orphan_header")
+        self.assertEqual(code, 1, out)
+        self.assertIn("orphan-header", out)
+        self.assertIn("src/core/orphan.h", out)
+
+    def test_reachable_and_allowlisted_headers_are_quiet(self):
+        _, out = run_arch("orphan_header")
+        self.assertNotIn("used.h", out)
+        self.assertNotIn("waived.h", out)
+        self.assertEqual(out.count("orphan-header"), 1, out)
+
+
+class ManifestValidation(unittest.TestCase):
+    def test_cyclic_manifest_and_unknown_module_fire(self):
+        code, out = run_arch("bad_manifest")
+        self.assertEqual(code, 1, out)
+        self.assertIn("layer-manifest", out)
+        self.assertIn("cyclic: core -> radio -> core", out)
+        self.assertIn("src/radio/ does not exist", out)
+
+    def test_missing_manifest_is_a_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable, ARCH, "--root",
+             os.path.join(FIXTURES, "good"),
+             "--manifest", "/nonexistent/layers.json"],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 2, proc.stderr)
+
+
+class JsonFormat(unittest.TestCase):
+    def test_findings_serialize_with_rule_path_line_message(self):
+        code, out = run_arch("layering_violation", "--format=json")
+        self.assertEqual(code, 1, out)
+        doc = json.loads(out)
+        self.assertEqual(doc["tool"], "wheels-arch")
+        self.assertEqual(len(doc["findings"]), 1, out)
+        f = doc["findings"][0]
+        self.assertEqual(f["rule"], "layer-violation")
+        self.assertEqual(f["path"], "src/core/bad.h")
+        self.assertEqual(f["line"], 2)
+        self.assertIn("may not include", f["message"])
+
+    def test_clean_tree_serializes_empty_findings(self):
+        code, out = run_arch("good", "--format=json")
+        self.assertEqual(code, 0, out)
+        doc = json.loads(out)
+        self.assertEqual(doc["findings"], [])
+        self.assertGreater(doc["files_scanned"], 0)
+
+
+class HeaderSelfSufficiency(unittest.TestCase):
+    """Compiles the selfcheck fixture headers exactly the way the CMake
+    header_selfcheck target does: one synthetic `#include "<header>"` TU
+    under the werror flag set."""
+
+    def compile_header(self, header_rel):
+        cxx = find_cxx()
+        if cxx is None:
+            self.skipTest("no C++ compiler on PATH")
+        fixture = os.path.join(FIXTURES, "selfcheck")
+        with tempfile.TemporaryDirectory() as tmp:
+            tu = os.path.join(tmp, "selfcheck_tu.cpp")
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{header_rel}"\n')
+            proc = subprocess.run(
+                [cxx, *SELFCHECK_FLAGS,
+                 "-I", os.path.join(fixture, "src"), tu],
+                capture_output=True, text=True, check=False)
+        return proc.returncode, proc.stderr
+
+    def test_self_sufficient_header_compiles_standalone(self):
+        code, err = self.compile_header("core/good_header.h")
+        self.assertEqual(code, 0, err)
+
+    def test_transitively_dependent_header_fails_standalone(self):
+        code, err = self.compile_header("core/bad_header.h")
+        self.assertNotEqual(code, 0,
+                            "bad_header.h compiled standalone; the "
+                            "selfcheck gate would miss it")
+        self.assertIn("vector", err)
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_real_repo_passes(self):
+        proc = subprocess.run(
+            [sys.executable, ARCH, "--root", REPO_ROOT],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+    def test_real_repo_dot_names_all_modules(self):
+        proc = subprocess.run(
+            [sys.executable, ARCH, "--root", REPO_ROOT, "--dot"],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        for mod in ("core", "radio", "ran", "net", "trip", "logsync",
+                    "apps", "dataset", "analysis"):
+            self.assertIn(f'"{mod}"', proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

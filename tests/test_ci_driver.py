@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Exit-code contract tests for tools/run_static_analysis.sh.
+
+The heavy stages (dataset CLI, header selfcheck, werror/sanitizer
+builds, clang-tidy) are env-disabled so every case here finishes in
+seconds; what's under test is the driver itself: stage toggles, --quick,
+unknown-flag rejection, and failure propagation from a stage into the
+script's exit status (injected via the WHEELS_CI_LINT_ROOT test hook,
+which points the full-repo lint at a known-violating fixture tree).
+
+Run directly (python3 tests/test_ci_driver.py) or via ctest.
+"""
+
+import os
+import subprocess
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TESTS_DIR)
+DRIVER = os.path.join(REPO_ROOT, "tools", "run_static_analysis.sh")
+
+HEAVY_STAGES_OFF = {
+    "WHEELS_CI_DATASET": "0",
+    "WHEELS_CI_HEADERS": "0",
+    "WHEELS_CI_WERROR": "0",
+    "WHEELS_CI_SANITIZE": "0",
+    "WHEELS_CI_TSAN": "0",
+    "WHEELS_CI_TIDY": "0",
+}
+
+
+def run_driver(*args, extra_env=None):
+    env = dict(os.environ)
+    env.update(HEAVY_STAGES_OFF)
+    env.update(extra_env or {})
+    proc = subprocess.run(
+        ["bash", DRIVER, *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+        check=False)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+class QuickPass(unittest.TestCase):
+    def test_quick_with_light_stages_passes(self):
+        # lint + arch stages stay on; both must run and the driver must
+        # report overall success.
+        code, out = run_driver("--quick")
+        self.assertEqual(code, 0, out)
+        self.assertIn("wheels-lint: full repo", out)
+        self.assertIn("wheels-arch: full repo", out)
+        self.assertIn("static analysis OK", out)
+
+    def test_disabled_stages_do_not_run(self):
+        _, out = run_driver("--quick")
+        self.assertNotIn("wheels_campaign CLI smoke", out)
+        self.assertNotIn("werror build", out)
+        self.assertNotIn("header self-sufficiency", out)
+
+
+class UnknownFlag(unittest.TestCase):
+    def test_unknown_argument_exits_2(self):
+        code, out = run_driver("--bogus")
+        self.assertEqual(code, 2, out)
+        self.assertIn("unknown argument", out)
+
+
+class InjectedFailure(unittest.TestCase):
+    def test_lint_failure_fails_the_driver(self):
+        # Point the full-repo lint at a fixture tree that violates
+        # banned-random; the driver must count the stage as failed and
+        # exit 1 (not crash, not succeed).
+        bad_root = os.path.join(TESTS_DIR, "lint_fixtures", "banned_random")
+        code, out = run_driver(
+            "--quick",
+            extra_env={
+                "WHEELS_CI_ARCH": "0",
+                "WHEELS_CI_LINT_ROOT": bad_root,
+            })
+        self.assertEqual(code, 1, out)
+        self.assertIn("banned-random", out)
+        self.assertIn("static analysis FAILED", out)
+
+
+class StageToggles(unittest.TestCase):
+    def test_everything_disabled_still_summarizes_ok(self):
+        code, out = run_driver(
+            "--quick",
+            extra_env={"WHEELS_CI_LINT": "0", "WHEELS_CI_ARCH": "0"})
+        self.assertEqual(code, 0, out)
+        self.assertIn("static analysis OK", out)
+        self.assertNotIn("wheels-lint", out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -3,20 +3,31 @@
 #
 # Stages (each independently skippable via env toggles, all default ON):
 #   1. wheels-lint       determinism/hygiene linter + its own rule tests
-#   2. dataset CLI       wheels_campaign smoke (argument validation, info
+#   2. wheels-arch       include-graph architecture analyzer (layer DAG,
+#                        cycles, orphan headers) + its own rule tests
+#   3. dataset CLI       wheels_campaign smoke (argument validation, info
 #                        on an empty cache; no simulation)
-#   3. werror build      expanded warning set promoted to errors
-#   4. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
-#   5. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
+#   4. header selfcheck  one synthetic TU per src/**/*.h compiled under
+#                        the werror flag set (header self-sufficiency)
+#   5. werror build      expanded warning set promoted to errors
+#   6. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
+#   7. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
 #                        under ThreadSanitizer (the parallel replay path)
-#   6. clang-tidy        only when clang-tidy is installed (optional stage)
+#   8. clang-tidy        only when clang-tidy is installed (optional
+#                        stage); consumes build/compile_commands.json
+#                        exported by the default preset so local and CI
+#                        invocations analyze identical command lines
 #
 # Usage: tools/run_static_analysis.sh [--quick]
-#   --quick     skip the sanitizer ctest runs (stages 1-3 only)
+#   --quick     skip the sanitizer ctest runs (stages 6-7)
 #
-# Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_DATASET=0, WHEELS_CI_WERROR=0,
+# Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_ARCH=0, WHEELS_CI_DATASET=0,
+#              WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0,
 #              WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0,
 #              WHEELS_CI_JOBS=<n>
+# Test hooks:  WHEELS_CI_LINT_ROOT=<dir> lints that tree instead of the
+#              repo (used by tests/test_ci_driver.py to inject a known
+#              lint failure without touching the real sources).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -40,10 +51,21 @@ if [[ "${WHEELS_CI_LINT:-1}" == 1 ]]; then
   banner "wheels-lint: rule self-tests"
   python3 tests/test_lint_rules.py || FAILURES=$((FAILURES + 1))
   banner "wheels-lint: full repo"
-  python3 tools/wheels_lint.py --root "$ROOT" || FAILURES=$((FAILURES + 1))
+  python3 tools/wheels_lint.py --root "${WHEELS_CI_LINT_ROOT:-$ROOT}" \
+    || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 2: dataset CLI smoke --------------------------------------------
+# --- Stage 2: architecture analyzer ----------------------------------------
+# Layer-DAG conformance against tools/layers.json, include-cycle freedom
+# and orphan-header detection, preceded by the analyzer's fixture tests.
+if [[ "${WHEELS_CI_ARCH:-1}" == 1 ]]; then
+  banner "wheels-arch: rule self-tests"
+  python3 tests/test_arch_rules.py || FAILURES=$((FAILURES + 1))
+  banner "wheels-arch: full repo"
+  python3 tools/wheels_arch.py --root "$ROOT" || FAILURES=$((FAILURES + 1))
+fi
+
+# --- Stage 3: dataset CLI smoke --------------------------------------------
 # Builds wheels_campaign and checks the argument/exit-code contract without
 # running a simulation: `info` on an empty cache succeeds, malformed input
 # and unknown subcommands must exit non-zero.
@@ -75,14 +97,25 @@ if [[ "${WHEELS_CI_DATASET:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 3: warnings-as-errors build -------------------------------------
+# --- Stage 4: header self-sufficiency --------------------------------------
+# cmake/HeaderSelfCheck.cmake generates one `#include "<header>"` TU per
+# public header; compiling the target proves every header stands alone
+# under -Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast.
+if [[ "${WHEELS_CI_HEADERS:-1}" == 1 ]]; then
+  banner "header self-sufficiency (header_selfcheck)"
+  cmake --preset default >/dev/null
+  cmake --build --preset default -j "$JOBS" --target header_selfcheck \
+    || FAILURES=$((FAILURES + 1))
+fi
+
+# --- Stage 5: warnings-as-errors build -------------------------------------
 if [[ "${WHEELS_CI_WERROR:-1}" == 1 ]]; then
   banner "werror build (-Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast)"
   cmake --preset werror >/dev/null
   cmake --build --preset werror -j "$JOBS" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 4: sanitizer-clean test suite -----------------------------------
+# --- Stage 6: sanitizer-clean test suite -----------------------------------
 if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
   banner "asan-ubsan build + ctest"
   cmake --preset asan-ubsan >/dev/null
@@ -94,7 +127,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
     ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 5: tsan over the parallel campaign path --------------------------
+# --- Stage 7: tsan over the parallel campaign path --------------------------
 # The deterministic parallel engine's data-race gate: thread-pool unit
 # tests plus the jobs=1 == jobs=4 determinism proofs, all with
 # WHEELS_JOBS=4 (set by the tsan-parallel test preset) so every pool and
@@ -107,13 +140,27 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_TSAN:-1}" == 1 ]]; then
     ctest --preset tsan-parallel || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 6: clang-tidy (best effort: optional in the container) ----------
+# --- Stage 8: clang-tidy (best effort: optional in the container) ----------
+# Every preset exports CMAKE_EXPORT_COMPILE_COMMANDS, so clang-tidy reads
+# the exact flags the build used; the file list comes from the database
+# itself rather than an ad-hoc find.
 if [[ "${WHEELS_CI_TIDY:-1}" == 1 ]]; then
   if command -v clang-tidy >/dev/null 2>&1; then
-    banner "clang-tidy"
-    cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
-    mapfile -t TIDY_SRCS < <(find src -name '*.cpp' | sort)
-    clang-tidy -p build --quiet "${TIDY_SRCS[@]}" || FAILURES=$((FAILURES + 1))
+    banner "clang-tidy (compile_commands.json)"
+    cmake --preset default >/dev/null
+    if [[ -f build/compile_commands.json ]]; then
+      mapfile -t TIDY_SRCS < <(python3 -c '
+import json
+entries = json.load(open("build/compile_commands.json"))
+files = sorted({e["file"] for e in entries if "/src/" in e["file"]})
+print("\n".join(files))
+')
+      clang-tidy -p build --quiet "${TIDY_SRCS[@]}" \
+        || FAILURES=$((FAILURES + 1))
+    else
+      echo "build/compile_commands.json missing despite preset export" >&2
+      FAILURES=$((FAILURES + 1))
+    fi
   else
     echo "clang-tidy not installed; skipping (config: .clang-tidy)"
   fi

@@ -34,9 +34,13 @@ enforces it mechanically:
   pragma-once       every header must start its include guard with
                     #pragma once.
   include-hygiene   quoted includes in src/ must be module-qualified
-                    ("core/rng.h", not "rng.h" or "../core/rng.h") so a file
-                    never silently picks up a same-named header from its own
-                    directory.
+                    ("core/rng.h", not "rng.h") so a file never silently
+                    picks up a same-named header from its own directory.
+  relative-include  parent-relative quoted includes (`#include "../..."`)
+                    in src/. They bypass the module-qualified form the
+                    layer manifest (tools/layers.json) keys on, so
+                    wheels_arch.py could no longer attribute the edge to
+                    a module; always spell the module name.
   format            clang-format --dry-run check (skipped with a notice when
                     clang-format is not installed).
 
@@ -44,7 +48,12 @@ Suppress a finding by putting `// wheels-lint: allow(<rule>)` on the same
 line or the line directly above it.
 
 Usage:
-  tools/wheels_lint.py [--root DIR] [--no-format] [--list-rules]
+  tools/wheels_lint.py [--root DIR] [--no-format] [--format text|json]
+                       [--list-rules]
+
+With --format=json, stdout carries a single JSON object
+({"tool", "files_scanned", "findings": [{rule, path, line, message}]})
+so CI can diff gate output structurally; notices go to stderr.
 
 Exits 0 when clean, 1 when any finding fires, 2 on usage errors.
 """
@@ -52,6 +61,7 @@ Exits 0 when clean, 1 when any finding fires, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import shutil
@@ -61,7 +71,7 @@ from dataclasses import dataclass
 
 SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
 CPP_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
-SKIP_DIR_PARTS = ("build", "lint_fixtures")
+SKIP_DIR_PARTS = ("build", "lint_fixtures", "fixtures")
 
 # Files allowed to touch raw entropy / wall-clock primitives.
 BANNED_RANDOM_ALLOWLIST = (
@@ -125,6 +135,9 @@ RULES = {
         "header missing #pragma once",
     "include-hygiene":
         "quoted include is not module-qualified repo-relative",
+    "relative-include":
+        "parent-relative #include \"../...\" in src/ (defeats the layer "
+        "manifest)",
     "format":
         "clang-format --dry-run reported a diff",
 }
@@ -423,12 +436,8 @@ def check_include_hygiene(relpath: str, text: str,
         inc = m.group(1)
         line = text.count("\n", 0, m.start()) + 1
         if ".." in inc.split("/"):
-            findings.append(
-                Finding(
-                    relpath, line, "include-hygiene",
-                    f'include "{inc}" uses a parent-relative path; use the '
-                    'module-qualified form ("<module>/<header>.h")'))
-        elif "/" not in inc:
+            continue  # relative-include owns parent-relative paths
+        if "/" not in inc:
             findings.append(
                 Finding(
                     relpath, line, "include-hygiene",
@@ -441,6 +450,28 @@ def check_include_hygiene(relpath: str, text: str,
                     relpath, line, "include-hygiene",
                     f'include "{inc}" does not name a known src module '
                     f"({', '.join(sorted(module_dirs))})"))
+    return findings
+
+
+def check_relative_include(relpath: str, text: str) -> list[Finding]:
+    """Parent-relative includes resolve correctly today but erase the
+    module name the layer manifest keys on — `"../core/rng.h"` from
+    src/trip/ is an untracked trip->core edge as far as wheels_arch.py
+    can tell. Ban them outright in src/."""
+    if not relpath.startswith("src/"):
+        return []
+    findings = []
+    for m in INCLUDE_RE.finditer(text):
+        inc = m.group(1)
+        if ".." not in inc.split("/"):
+            continue
+        line = text.count("\n", 0, m.start()) + 1
+        findings.append(
+            Finding(
+                relpath, line, "relative-include",
+                f'include "{inc}" is parent-relative; spell the '
+                'module-qualified form ("<module>/<header>.h") so '
+                "wheels_arch.py can attribute the edge to a module"))
     return findings
 
 
@@ -488,6 +519,7 @@ def lint_file(path: str, root: str, module_dirs: set[str]) -> list[Finding]:
     findings += check_static_local(relpath, stripped)
     findings += check_pragma_once(relpath, stripped)
     findings += check_include_hygiene(relpath, stripped, module_dirs)
+    findings += check_relative_include(relpath, stripped)
 
     return [
         f for f in findings if f.rule not in allows.get(f.line, set())
@@ -518,6 +550,9 @@ def main(argv: list[str]) -> int:
                         "this script)")
     parser.add_argument("--no-format", action="store_true",
                         help="skip the clang-format check")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="output_format",
+                        help="findings output format (default: text)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args(argv)
 
@@ -549,10 +584,32 @@ def main(argv: list[str]) -> int:
         fmt_findings, ran = check_format(root, files)
         findings += fmt_findings
         if not ran:
+            notice_out = sys.stderr if args.output_format == "json" \
+                else sys.stdout
             print("wheels-lint: note: clang-format not available; "
-                  "format check skipped")
+                  "format check skipped", file=notice_out)
 
-    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    if args.output_format == "json":
+        print(json.dumps(
+            {
+                "tool": "wheels-lint",
+                "files_scanned": len(files),
+                "findings": [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                    } for f in findings
+                ],
+            },
+            indent=2,
+            sort_keys=True))
+        return 1 if findings else 0
+
+    for f in findings:
         print(f.render())
 
     if findings:

@@ -16,7 +16,7 @@
 #pragma once
 
 #include <cerrno>
-#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -28,6 +28,9 @@
 #include "apps/app_campaign.h"
 #include "core/thread_pool.h"
 #include "dataset/provider.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/runtime.h"
 #include "trip/campaign.h"
 
 namespace wheels::bench {
@@ -100,10 +103,13 @@ namespace detail {
 // Wall-clock for the whole bench (simulation or cache load + analysis):
 // armed by print_header, reported at process exit as one JSON line on
 // stderr when WHEELS_BENCH_JSON=1. Timestamps never reach stdout, so the
-// figures stay bit-identical between runs.
+// figures stay bit-identical between runs. The metrics object comes from
+// the obs registry (print_header constructs the registry before this
+// clock, so the destructor ordering is safe); it reports how the time was
+// spent: simulate fan-out vs disk hits, and the per-phase breakdown.
 struct BenchClock {
   std::string name;
-  std::chrono::steady_clock::time_point start;
+  std::int64_t start_ns = 0;
   int jobs = 1;
   bool armed = false;
 
@@ -111,10 +117,26 @@ struct BenchClock {
     if (!armed) return;
     const char* env = std::getenv("WHEELS_BENCH_JSON");
     if (env == nullptr || std::string_view(env) != "1") return;
-    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
-    std::fprintf(stderr, "{\"bench\": \"%s\", \"sim_ms\": %lld, \"jobs\": %d}\n",
-                 name.c_str(), static_cast<long long>(elapsed.count()), jobs);
+    const long long sim_ms =
+        static_cast<long long>((obs::now_ns() - start_ns) / 1'000'000);
+    const obs::Snapshot snap = obs::Registry::global().snapshot();
+    const auto value_of = [&snap](std::string_view metric) -> long long {
+      const obs::MetricValue* mv = snap.find(metric);
+      return mv != nullptr ? static_cast<long long>(mv->value) : 0;
+    };
+    const long long simulations =
+        value_of("dataset.provider.campaign_simulations") +
+        value_of("dataset.provider.baseline_simulations");
+    std::fprintf(stderr,
+                 "{\"bench\": \"%s\", \"sim_ms\": %lld, \"jobs\": %d, "
+                 "\"metrics\": {\"simulations\": %lld, \"disk_hits\": %lld, "
+                 "\"record_ms\": %lld, \"replay_ms\": %lld, "
+                 "\"baseline_ms\": %lld}}\n",
+                 name.c_str(), sim_ms, jobs, simulations,
+                 value_of("dataset.provider.disk_hits"),
+                 value_of("campaign.record_us") / 1000,
+                 value_of("campaign.replay_us") / 1000,
+                 value_of("campaign.baseline_us") / 1000);
   }
 };
 
@@ -127,9 +149,13 @@ inline BenchClock& bench_clock() {
 
 inline void print_header(const std::string& id, const std::string& title,
                          int stride) {
+  // Constructs the obs registry (and arms any WHEELS_METRICS/WHEELS_TRACE
+  // exporters) before the bench clock below, so the clock's destructor can
+  // still read the registry during static teardown.
+  obs::init_from_env();
   auto& clock = detail::bench_clock();
   clock.name = id;
-  clock.start = std::chrono::steady_clock::now();
+  clock.start_ns = obs::now_ns();
   clock.jobs = resolve_jobs();
   clock.armed = true;
   std::cout << "=== " << id << ": " << title << " ===\n"

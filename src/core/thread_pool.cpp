@@ -1,10 +1,24 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 
 namespace wheels {
+namespace {
+
+std::atomic<const ThreadPoolHooks*> g_hooks{nullptr};
+
+}  // namespace
+
+void set_thread_pool_hooks(const ThreadPoolHooks* hooks) {
+  g_hooks.store(hooks, std::memory_order_release);
+}
+
+const ThreadPoolHooks* thread_pool_hooks() {
+  return g_hooks.load(std::memory_order_acquire);
+}
 
 int resolve_jobs(int requested) {
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -44,11 +58,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::post(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
+    depth = tasks_.size();
   }
   cv_.notify_one();
+  if (const ThreadPoolHooks* hooks = thread_pool_hooks())
+    if (hooks->on_submit != nullptr) hooks->on_submit(depth);
 }
 
 void ThreadPool::worker_loop() {
@@ -61,7 +79,11 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    const ThreadPoolHooks* hooks = thread_pool_hooks();
+    if (hooks != nullptr && hooks->on_task_begin != nullptr)
+      hooks->on_task_begin();
     task();
+    if (hooks != nullptr && hooks->on_task_end != nullptr) hooks->on_task_end();
   }
 }
 

@@ -21,6 +21,23 @@
 
 namespace wheels {
 
+// Observability hooks for the pool, installed by src/obs (core sits below
+// obs in the layer DAG, so the dependency points the other way: obs fills
+// in this struct and core calls through it). Any field may be null. The
+// struct passed to set_thread_pool_hooks must outlive every pool -- obs
+// installs a pointer to static storage exactly once, before workers exist.
+struct ThreadPoolHooks {
+  // After a task is enqueued; depth is the queue length it left behind.
+  void (*on_submit)(std::size_t queue_depth) = nullptr;
+  // Around each task body, on the worker thread that runs it.
+  void (*on_task_begin)() = nullptr;
+  void (*on_task_end)() = nullptr;
+};
+
+// nullptr uninstalls. The previous pointer is not freed or flushed.
+void set_thread_pool_hooks(const ThreadPoolHooks* hooks);
+[[nodiscard]] const ThreadPoolHooks* thread_pool_hooks();
+
 // Resolve a worker count: `requested` >= 1 wins, otherwise the WHEELS_JOBS
 // environment variable, otherwise 1 (fully sequential). The result is
 // clamped to [1, 4 * hardware_concurrency] so a stray env value cannot

@@ -10,10 +10,34 @@
 #include <sstream>
 #include <system_error>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace wheels::dataset {
 namespace {
 
 namespace fs = std::filesystem;
+
+// All Det::Stable: for a given cache state and workload, the set of load
+// and store operations -- and the exact bytes moved -- is a pure function
+// of the configs requested, independent of WHEELS_JOBS and scheduling.
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& bytes_read;
+  obs::Counter& bytes_written;
+};
+
+CacheMetrics& cache_metrics() {
+  // wheels-lint: allow(static-local)
+  static CacheMetrics m{
+      obs::Registry::global().counter("dataset.cache.hits"),
+      obs::Registry::global().counter("dataset.cache.misses"),
+      obs::Registry::global().counter("dataset.cache.bytes_read"),
+      obs::Registry::global().counter("dataset.cache.bytes_written"),
+  };
+  return m;
+}
 
 std::string hex16(std::uint64_t v) {
   char buf[17];
@@ -75,15 +99,27 @@ std::string DatasetCache::path_for(DatasetKind kind, std::uint64_t fingerprint,
 std::optional<std::string> DatasetCache::load(DatasetKind kind,
                                               std::uint64_t fingerprint,
                                               ran::OperatorId op) const {
+  const obs::Span span("dataset.cache.load", "dataset");
   const std::string path = path_for(kind, fingerprint, op);
   std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
+  if (!is) {
+    cache_metrics().misses.inc();
+    return std::nullopt;
+  }
   std::ostringstream buf;
   buf << is.rdbuf();
-  if (!is.good() && !is.eof()) return std::nullopt;
+  if (!is.good() && !is.eof()) {
+    cache_metrics().misses.inc();
+    return std::nullopt;
+  }
   const std::string file = std::move(buf).str();
   const auto payload = unwrap_dataset(file, kind, fingerprint);
-  if (!payload) return std::nullopt;  // corrupt/stale: caller re-simulates
+  if (!payload) {  // corrupt/stale: caller re-simulates
+    cache_metrics().misses.inc();
+    return std::nullopt;
+  }
+  cache_metrics().hits.inc();
+  cache_metrics().bytes_read.add(file.size());
   return std::string(*payload);
 }
 
@@ -91,6 +127,7 @@ std::optional<std::string> DatasetCache::store(DatasetKind kind,
                                                std::uint64_t fingerprint,
                                                ran::OperatorId op,
                                                std::string_view payload) const {
+  const obs::Span span("dataset.cache.store", "dataset");
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) return std::nullopt;
@@ -103,10 +140,10 @@ std::optional<std::string> DatasetCache::store(DatasetKind kind,
   static std::atomic<unsigned> counter{0};
   const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
                           std::to_string(counter.fetch_add(1));
+  const std::string file = wrap_dataset(kind, fingerprint, payload);
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) return std::nullopt;
-    const std::string file = wrap_dataset(kind, fingerprint, payload);
     os.write(file.data(), static_cast<std::streamsize>(file.size()));
     if (!os.good()) {
       os.close();
@@ -119,6 +156,7 @@ std::optional<std::string> DatasetCache::store(DatasetKind kind,
     fs::remove(tmp, ec);
     return std::nullopt;
   }
+  cache_metrics().bytes_written.add(file.size());
   return path;
 }
 

@@ -6,6 +6,8 @@
 
 #include "core/thread_pool.h"
 #include "dataset/fingerprint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace wheels::dataset {
 namespace {
@@ -16,6 +18,35 @@ bool cache_disabled_by_env() {
 }
 
 int op_index(ran::OperatorId op) { return static_cast<int>(op); }
+
+// Mirrors of the per-provider member counters, aggregated process-wide so
+// exporters and the bench metrics object can read them without a handle on
+// the provider instance. All Det::Stable: resolution outcomes are a pure
+// function of the requested configs and the cache state.
+struct ProviderMetrics {
+  obs::Counter& memo_hits;
+  obs::Counter& disk_hits;
+  obs::Counter& campaign_simulations;
+  obs::Counter& baseline_simulations;
+};
+
+ProviderMetrics& provider_metrics() {
+  // wheels-lint: allow(static-local)
+  static ProviderMetrics m{
+      obs::Registry::global().counter("dataset.provider.memo_hits"),
+      obs::Registry::global().counter("dataset.provider.disk_hits"),
+      obs::Registry::global().counter("dataset.provider.campaign_simulations"),
+      obs::Registry::global().counter("dataset.provider.baseline_simulations"),
+  };
+  return m;
+}
+
+// Span around an actual simulation (the expensive branch of load_or_run*).
+std::string simulate_span_name(DatasetKind kind) {
+  std::string name = "dataset.simulate.";
+  name += to_string(kind);
+  return name;
+}
 
 }  // namespace
 
@@ -69,6 +100,7 @@ const trip::CampaignResult& CampaignProvider::load_or_run(
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = results_.find(key); it != results_.end()) {
+      provider_metrics().memo_hits.inc();
       return *it->second;
     }
   }
@@ -82,6 +114,7 @@ const trip::CampaignResult& CampaignProvider::load_or_run(
         const auto [it, inserted] = results_.emplace(key, std::move(loaded));
         if (inserted) {
           ++disk_hits_;
+          provider_metrics().disk_hits.inc();
           note(DatasetKind::Campaign, fp, "cache hit");
         }
         return *it->second;
@@ -97,12 +130,16 @@ const trip::CampaignResult& CampaignProvider::load_or_run(
   note(DatasetKind::Campaign, fp, "simulating");
   // Simulate outside the lock so distinct keys overlap; Campaign::run is
   // itself idempotent, so a same-key race costs a copy, not a re-run.
-  auto owned = std::make_unique<trip::CampaignResult>(campaign->run());
+  auto owned = [&] {
+    const obs::Span span(simulate_span_name(DatasetKind::Campaign), "dataset");
+    return std::make_unique<trip::CampaignResult>(campaign->run());
+  }();
 
   const std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = results_.emplace(key, std::move(owned));
   if (inserted) {
     ++campaign_simulations_;
+    provider_metrics().campaign_simulations.inc();
     if (use_cache_) {
       cache_.store(DatasetKind::Campaign, fp, ran::OperatorId::Verizon,
                    encode(*it->second));
@@ -118,6 +155,7 @@ const trip::StaticBaseline& CampaignProvider::load_or_run_static(
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = baselines_.find(key); it != baselines_.end()) {
+      provider_metrics().memo_hits.inc();
       return *it->second;
     }
   }
@@ -131,6 +169,7 @@ const trip::StaticBaseline& CampaignProvider::load_or_run_static(
         const auto [it, inserted] = baselines_.emplace(key, std::move(loaded));
         if (inserted) {
           ++disk_hits_;
+          provider_metrics().disk_hits.inc();
           note(DatasetKind::StaticBaseline, fp, "cache hit");
         }
         return *it->second;
@@ -144,13 +183,18 @@ const trip::StaticBaseline& CampaignProvider::load_or_run_static(
     campaign = &campaign_for(cfg);
   }
   note(DatasetKind::StaticBaseline, fp, "simulating");
-  auto owned = std::make_unique<trip::StaticBaseline>(
-      campaign->run_static_baseline(op));
+  auto owned = [&] {
+    const obs::Span span(simulate_span_name(DatasetKind::StaticBaseline),
+                         "dataset");
+    return std::make_unique<trip::StaticBaseline>(
+        campaign->run_static_baseline(op));
+  }();
 
   const std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = baselines_.emplace(key, std::move(owned));
   if (inserted) {
     ++baseline_simulations_;
+    provider_metrics().baseline_simulations.inc();
     if (use_cache_) {
       cache_.store(DatasetKind::StaticBaseline, fp, op, encode(*it->second));
     }
@@ -165,6 +209,7 @@ const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = app_results_.find(key); it != app_results_.end()) {
+      provider_metrics().memo_hits.inc();
       return *it->second;
     }
   }
@@ -179,6 +224,7 @@ const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
             app_results_.emplace(key, std::move(loaded));
         if (inserted) {
           ++disk_hits_;
+          provider_metrics().disk_hits.inc();
           note(DatasetKind::AppCampaign, fp, "cache hit");
         }
         return *it->second;
@@ -188,12 +234,17 @@ const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
 
   note(DatasetKind::AppCampaign, fp, "simulating");
   apps::AppCampaign campaign(cfg);
-  auto owned = std::make_unique<apps::AppCampaignResult>(campaign.run());
+  auto owned = [&] {
+    const obs::Span span(simulate_span_name(DatasetKind::AppCampaign),
+                         "dataset");
+    return std::make_unique<apps::AppCampaignResult>(campaign.run());
+  }();
 
   const std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = app_results_.emplace(key, std::move(owned));
   if (inserted) {
     ++campaign_simulations_;
+    provider_metrics().campaign_simulations.inc();
     if (use_cache_) {
       cache_.store(DatasetKind::AppCampaign, fp, ran::OperatorId::Verizon,
                    encode(*it->second));
@@ -210,6 +261,7 @@ CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (const auto it = app_baselines_.find(key); it != app_baselines_.end()) {
+      provider_metrics().memo_hits.inc();
       return *it->second;
     }
   }
@@ -224,6 +276,7 @@ CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
             app_baselines_.emplace(key, std::move(loaded));
         if (inserted) {
           ++disk_hits_;
+          provider_metrics().disk_hits.inc();
           note(DatasetKind::AppStaticBaseline, fp, "cache hit");
         }
         return *it->second;
@@ -233,13 +286,18 @@ CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
 
   note(DatasetKind::AppStaticBaseline, fp, "simulating");
   apps::AppCampaign campaign(cfg);
-  auto owned = std::make_unique<std::vector<apps::AppRunRecord>>(
-      campaign.run_static_baseline(op));
+  auto owned = [&] {
+    const obs::Span span(simulate_span_name(DatasetKind::AppStaticBaseline),
+                         "dataset");
+    return std::make_unique<std::vector<apps::AppRunRecord>>(
+        campaign.run_static_baseline(op));
+  }();
 
   const std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = app_baselines_.emplace(key, std::move(owned));
   if (inserted) {
     ++baseline_simulations_;
+    provider_metrics().baseline_simulations.inc();
     if (use_cache_) {
       cache_.store(DatasetKind::AppStaticBaseline, fp, op, encode(*it->second));
     }

@@ -1,0 +1,28 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace wheels::obs {
+namespace {
+
+std::atomic<ClockFn> g_clock{nullptr};
+
+std::int64_t monotonic_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::int64_t now_ns() {
+  if (const ClockFn fn = g_clock.load(std::memory_order_relaxed)) return fn();
+  return monotonic_now_ns();
+}
+
+void set_clock_for_testing(ClockFn fn) {
+  g_clock.store(fn, std::memory_order_relaxed);
+}
+
+}  // namespace wheels::obs

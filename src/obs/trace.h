@@ -1,0 +1,69 @@
+// Scoped trace spans exported as a Chrome trace_event file (loadable in
+// chrome://tracing or Perfetto).
+//
+// Spans are coarse -- campaign phases, per-operator replays, dataset cache
+// operations -- so the collector is a mutex-guarded central vector; a span
+// is recorded once, at destruction. Collection is off unless tracing was
+// enabled (WHEELS_TRACE / --trace), and a disarmed Span is a relaxed
+// atomic load plus two dead stores, so instrumented code pays nothing
+// measurable when tracing is off.
+//
+// Determinism contract: span timestamps come from obs::now_ns() and are
+// wall-clock by definition. Tracing must stay bit-transparent -- it never
+// touches simulation state -- and nothing in the campaign output may
+// depend on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wheels::obs {
+
+// A completed span. tid is a small per-thread id assigned in the order
+// threads first emit an event (1-based); pid in the export is always 1.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  std::uint32_t tid = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t end_ns = 0;
+};
+
+[[nodiscard]] bool trace_enabled();
+
+// Flip collection on or off. Spans already open keep the armed state they
+// started with.
+void set_trace_enabled(bool on);
+
+void clear_trace_events();
+
+// Copy of every span recorded so far, in completion order.
+[[nodiscard]] std::vector<TraceEvent> trace_events();
+
+// Chrome trace_event JSON ("X" complete events, microsecond timestamps
+// rebased to the earliest span so the viewer opens at t=0). Nesting
+// survives the ns->us floor because start and end are floored with the
+// same origin.
+[[nodiscard]] std::string trace_events_to_chrome_json();
+
+// RAII scope: records one TraceEvent from construction to destruction.
+// Construction snapshots the name only when tracing is enabled.
+class Span {
+ public:
+  explicit Span(std::string_view name) : Span(name, "campaign") {}
+  Span(std::string_view name, std::string_view cat);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  std::string name_;
+  std::string cat_;
+  std::int64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace wheels::obs

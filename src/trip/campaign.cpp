@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "core/stats.h"
 #include "core/thread_pool.h"
 #include "net/ping.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "radio/phy_rate.h"
 
 namespace wheels::trip {
@@ -14,6 +19,34 @@ namespace {
 using radio::Direction;
 using radio::Tech;
 using ran::OperatorId;
+
+// Phase durations are wall-clock and scheduling-dependent, so every one of
+// these is Det::WallClock; determinism tests mask them. The counters
+// accumulate across campaigns in the process (bench warm-up + measured
+// runs), which is exactly what the bench metrics object wants.
+struct CampaignMetrics {
+  obs::Counter& record_us;
+  obs::Counter& replay_us;
+  obs::Counter& baseline_us;
+};
+
+CampaignMetrics& campaign_metrics() {
+  // wheels-lint: allow(static-local)
+  static CampaignMetrics m{
+      obs::Registry::global().counter("campaign.record_us",
+                                      obs::Det::WallClock),
+      obs::Registry::global().counter("campaign.replay_us",
+                                      obs::Det::WallClock),
+      obs::Registry::global().counter("campaign.baseline_us",
+                                      obs::Det::WallClock),
+  };
+  return m;
+}
+
+std::uint64_t elapsed_us(std::int64_t start_ns) {
+  const std::int64_t d = obs::now_ns() - start_ns;
+  return d > 0 ? static_cast<std::uint64_t>(d) / 1000 : 0;
+}
 
 std::vector<net::EdgeSite> edge_sites_from(const Route& route) {
   std::vector<net::EdgeSite> sites;
@@ -322,10 +355,21 @@ const CampaignResult& Campaign::run() {
   // Phase 1 (sequential, cheap): drive the route once, recording the
   // schedule. Phase 2 (parallel): each operator replays the recording on
   // its own worker, touching only its own RNG streams and logs slot.
-  const Trajectory traj = record_trajectory(trip_, corridor_, cfg_);
+  const std::int64_t record_start = obs::now_ns();
+  const Trajectory traj = [&] {
+    const obs::Span span("campaign.record");
+    return record_trajectory(trip_, corridor_, cfg_);
+  }();
+  campaign_metrics().record_us.add(elapsed_us(record_start));
+
+  const std::int64_t replay_start = obs::now_ns();
   parallel_for_each(jobs_, phones_.size(), [&](std::size_t i) {
+    std::string span_name = "campaign.replay.";
+    span_name += to_string(phones_[i]->op);
+    const obs::Span span(span_name);
     replay_operator(*phones_[i], traj);
   });
+  campaign_metrics().replay_us.add(elapsed_us(replay_start));
 
   for (auto& ph : phones_) {
     const auto i = static_cast<std::size_t>(ph->op);
@@ -349,6 +393,11 @@ const CampaignResult& Campaign::run() {
 }
 
 StaticBaseline Campaign::run_static_baseline(OperatorId op) {
+  const std::int64_t baseline_start = obs::now_ns();
+  std::string baseline_span_name = "campaign.baseline.";
+  baseline_span_name += to_string(op);
+  const obs::Span baseline_span(baseline_span_name);
+
   StaticBaseline out;
   out.op = op;
   const auto& dep = deployment(op);
@@ -364,6 +413,10 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
 
   parallel_for_each(jobs_, cities.size(), [&](std::size_t ci) {
     const auto& city = cities[ci];
+    std::string city_span_name = baseline_span_name;
+    city_span_name += '.';
+    city_span_name += city.name;
+    const obs::Span city_span(city_span_name);
     // Find the best high-speed-5G site near the city center: the nearest
     // mmWave cell within the urban core, else the nearest mid-band one.
     const ran::Cell* site = nullptr;
@@ -453,6 +506,7 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
                             cr.ul.end());
     out.rtt_ms.insert(out.rtt_ms.end(), cr.rtt.begin(), cr.rtt.end());
   }
+  campaign_metrics().baseline_us.add(elapsed_us(baseline_start));
   return out;
 }
 

@@ -1,0 +1,12 @@
+// The rule is scoped to src/: bench code may read the host clock freely
+// (bench_common migrated to obs::now_ns anyway, but that is a choice, not
+// a rule).
+#include <chrono>
+
+namespace wheels::bench {
+
+long long bench_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace wheels::bench

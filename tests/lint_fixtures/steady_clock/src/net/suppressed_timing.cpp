@@ -1,0 +1,12 @@
+// A reviewed exception carrying the allow comment: must stay quiet.
+#include <chrono>
+
+namespace wheels::net {
+
+long long reviewed_probe_ns() {
+  // wheels-lint: allow(steady-clock)
+  const auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace wheels::net

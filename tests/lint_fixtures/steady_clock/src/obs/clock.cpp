@@ -1,0 +1,12 @@
+// src/obs/ is the blessed clock reader: this file must stay quiet.
+#include <chrono>
+
+namespace wheels::obs {
+
+long long now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace wheels::obs

@@ -1,0 +1,17 @@
+// Direct host-clock reads in simulation code: both sites below must fire.
+#include <chrono>
+
+namespace wheels::trip {
+
+long long phase_start_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long long hires_sample() {
+  using clock = std::chrono::high_resolution_clock;
+  return clock::now().time_since_epoch().count();
+}
+
+}  // namespace wheels::trip

@@ -190,7 +190,7 @@ class RepoIsClean(unittest.TestCase):
             [sys.executable, ARCH, "--root", REPO_ROOT, "--dot"],
             capture_output=True, text=True, check=False)
         self.assertEqual(proc.returncode, 0, proc.stderr)
-        for mod in ("core", "radio", "ran", "net", "trip", "logsync",
+        for mod in ("core", "obs", "radio", "ran", "net", "trip", "logsync",
                     "apps", "dataset", "analysis"):
             self.assertIn(f'"{mod}"', proc.stdout)
 

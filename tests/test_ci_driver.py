@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Exit-code contract tests for tools/run_static_analysis.sh.
 
-The heavy stages (dataset CLI, header selfcheck, werror/sanitizer
-builds, clang-tidy) are env-disabled so every case here finishes in
+The heavy stages (dataset CLI, trace validation, header selfcheck,
+werror/sanitizer builds, clang-tidy) are env-disabled so every case here finishes in
 seconds; what's under test is the driver itself: stage toggles, --quick,
 unknown-flag rejection, and failure propagation from a stage into the
 script's exit status (injected via the WHEELS_CI_LINT_ROOT test hook,
@@ -21,6 +21,7 @@ DRIVER = os.path.join(REPO_ROOT, "tools", "run_static_analysis.sh")
 
 HEAVY_STAGES_OFF = {
     "WHEELS_CI_DATASET": "0",
+    "WHEELS_CI_TRACE": "0",
     "WHEELS_CI_HEADERS": "0",
     "WHEELS_CI_WERROR": "0",
     "WHEELS_CI_SANITIZE": "0",

@@ -182,6 +182,26 @@ class StaticLocal(unittest.TestCase):
         self.assertNotIn("good_static.cpp", out)
 
 
+class SteadyClock(unittest.TestCase):
+    def test_host_clock_reads_fire(self):
+        code, out = run_lint("steady_clock")
+        self.assertEqual(code, 1, out)
+        # steady_clock::now() and the high_resolution_clock alias (which
+        # additionally trips banned-random -- two rules, two findings).
+        self.assertEqual(out.count("steady-clock"), 2, out)
+        for line in (8, 13):
+            self.assertIn(f"bad_timing.cpp:{line}:", out)
+
+    def test_obs_module_is_the_blessed_reader(self):
+        _, out = run_lint("steady_clock")
+        self.assertNotIn("src/obs/clock.cpp", out)
+
+    def test_scoped_to_src_and_suppressible(self):
+        _, out = run_lint("steady_clock")
+        self.assertNotIn("outside_scope.cpp", out)
+        self.assertNotIn("suppressed_timing.cpp", out)
+
+
 class AllowSuppression(unittest.TestCase):
     def test_allow_comment_suppresses_same_and_previous_line(self):
         code, out = run_lint("allow_suppression")

@@ -12,6 +12,8 @@
 #include <string>
 
 #include "dataset/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "trip/campaign.h"
 
 namespace wheels::trip {
@@ -90,6 +92,62 @@ TEST(ParallelDeterminism, GoldenChecksumWithParallelJobs) {
   const std::uint64_t checksum = dataset::fnv1a(dataset::encode(c.run()));
   EXPECT_EQ(checksum, kGoldenCampaignChecksum)
       << "parallel campaign produced 0x" << std::hex << checksum;
+}
+
+TEST(ParallelDeterminism, ObservabilityTransparentAcrossJobs) {
+  // The obs hard invariant: collecting metrics and trace spans is
+  // bit-transparent. With tracing armed (the most invasive obs mode --
+  // every phase span heap-allocates and locks the collector), jobs=1 and
+  // jobs=4 must still agree byte-for-byte, and the stable-only metrics
+  // export must be identical across jobs values too.
+  obs::set_trace_enabled(true);
+  obs::clear_trace_events();
+  obs::Registry& reg = obs::Registry::global();
+
+  reg.reset_values_for_testing();
+  Campaign sequential(sparse_cfg());
+  sequential.set_jobs(1);
+  const std::string bytes1 = dataset::encode(sequential.run());
+  const std::string stable1 = obs::to_jsonl(reg.snapshot(),
+                                            /*stable_only=*/true);
+
+  reg.reset_values_for_testing();
+  Campaign parallel(sparse_cfg());
+  parallel.set_jobs(4);
+  const std::string bytes4 = dataset::encode(parallel.run());
+  const std::string stable4 = obs::to_jsonl(reg.snapshot(),
+                                            /*stable_only=*/true);
+
+  const bool spans_collected = !obs::trace_events().empty();
+  obs::set_trace_enabled(false);
+  obs::clear_trace_events();
+
+  EXPECT_TRUE(spans_collected)
+      << "tracing was supposed to be live during both runs";
+  EXPECT_TRUE(bytes1 == bytes4)
+      << "enabling tracing changed the campaign bytes";
+  EXPECT_EQ(stable1, stable4)
+      << "Det::Stable metrics must be byte-stable across WHEELS_JOBS";
+}
+
+TEST(ParallelDeterminism, GoldenChecksumWithObservabilityEnabled) {
+  // Same pin as GoldenChecksumWithParallelJobs, now with tracing live:
+  // the seed-42 stride-64 bytes may not move when observability is on.
+  constexpr std::uint64_t kGoldenCampaignChecksum = 0xbba11b2dda6d2b08ULL;
+  obs::set_trace_enabled(true);
+  obs::clear_trace_events();
+
+  CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = 64;
+  Campaign c(cfg);
+  c.set_jobs(4);
+  const std::uint64_t checksum = dataset::fnv1a(dataset::encode(c.run()));
+
+  obs::set_trace_enabled(false);
+  obs::clear_trace_events();
+  EXPECT_EQ(checksum, kGoldenCampaignChecksum)
+      << "campaign with tracing enabled produced 0x" << std::hex << checksum;
 }
 
 }  // namespace

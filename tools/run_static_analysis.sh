@@ -7,22 +7,27 @@
 #                        cycles, orphan headers) + its own rule tests
 #   3. dataset CLI       wheels_campaign smoke (argument validation, info
 #                        on an empty cache; no simulation)
-#   4. header selfcheck  one synthetic TU per src/**/*.h compiled under
+#   4. trace validation  stride-64 bench with WHEELS_TRACE into a fresh
+#                        cache dir; the emitted Chrome trace must parse,
+#                        nest monotonically per thread and cover the
+#                        record/replay/baseline/cache phases
+#                        (tools/validate_trace.py)
+#   5. header selfcheck  one synthetic TU per src/**/*.h compiled under
 #                        the werror flag set (header self-sufficiency)
-#   5. werror build      expanded warning set promoted to errors
-#   6. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
-#   7. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
+#   6. werror build      expanded warning set promoted to errors
+#   7. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
+#   8. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
 #                        under ThreadSanitizer (the parallel replay path)
-#   8. clang-tidy        only when clang-tidy is installed (optional
+#   9. clang-tidy        only when clang-tidy is installed (optional
 #                        stage); consumes build/compile_commands.json
 #                        exported by the default preset so local and CI
 #                        invocations analyze identical command lines
 #
 # Usage: tools/run_static_analysis.sh [--quick]
-#   --quick     skip the sanitizer ctest runs (stages 6-7)
+#   --quick     skip the sanitizer ctest runs (stages 7-8)
 #
 # Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_ARCH=0, WHEELS_CI_DATASET=0,
-#              WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0,
+#              WHEELS_CI_TRACE=0, WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0,
 #              WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0,
 #              WHEELS_CI_JOBS=<n>
 # Test hooks:  WHEELS_CI_LINT_ROOT=<dir> lints that tree instead of the
@@ -97,7 +102,47 @@ if [[ "${WHEELS_CI_DATASET:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 4: header self-sufficiency --------------------------------------
+# --- Stage 4: trace validation ---------------------------------------------
+# Runs the stride-64 Fig.3 bench cold with WHEELS_TRACE armed and checks
+# the exported Chrome trace_event file: parseable JSON, spans nest
+# monotonically within each thread lane, and every instrumented phase
+# (record, per-operator replay, baseline fan-out, dataset cache and
+# simulate operations) actually shows up. Catches exporter regressions
+# that the unit tests' synthetic clocks cannot.
+if [[ "${WHEELS_CI_TRACE:-1}" == 1 ]]; then
+  banner "trace validation (stride-64 bench with WHEELS_TRACE)"
+  cmake --preset default >/dev/null
+  if cmake --build --preset default -j "$JOBS" \
+      --target bench_fig3_static_vs_driving; then
+    TRACE_DIR=build/ci-trace
+    rm -rf "$TRACE_DIR" && mkdir -p "$TRACE_DIR"
+    TRACE_OK=1
+    WHEELS_DATASET_DIR="$TRACE_DIR/cache" \
+    WHEELS_TRACE="$TRACE_DIR/trace.json" \
+      ./build/bench/bench_fig3_static_vs_driving 64 >/dev/null \
+      || TRACE_OK=0
+    if [[ "$TRACE_OK" == 1 ]]; then
+      python3 tools/validate_trace.py "$TRACE_DIR/trace.json" \
+        --require-span campaign.record \
+        --require-span campaign.replay. \
+        --require-span campaign.baseline. \
+        --require-span dataset.cache. \
+        --require-span dataset.simulate. \
+        || TRACE_OK=0
+    fi
+    rm -rf "$TRACE_DIR"
+    if [[ "$TRACE_OK" == 1 ]]; then
+      echo "trace validation: OK"
+    else
+      echo "trace validation FAILED"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+# --- Stage 5: header self-sufficiency --------------------------------------
 # cmake/HeaderSelfCheck.cmake generates one `#include "<header>"` TU per
 # public header; compiling the target proves every header stands alone
 # under -Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast.
@@ -108,14 +153,14 @@ if [[ "${WHEELS_CI_HEADERS:-1}" == 1 ]]; then
     || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 5: warnings-as-errors build -------------------------------------
+# --- Stage 6: warnings-as-errors build -------------------------------------
 if [[ "${WHEELS_CI_WERROR:-1}" == 1 ]]; then
   banner "werror build (-Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast)"
   cmake --preset werror >/dev/null
   cmake --build --preset werror -j "$JOBS" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 6: sanitizer-clean test suite -----------------------------------
+# --- Stage 7: sanitizer-clean test suite -----------------------------------
 if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
   banner "asan-ubsan build + ctest"
   cmake --preset asan-ubsan >/dev/null
@@ -127,7 +172,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
     ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 7: tsan over the parallel campaign path --------------------------
+# --- Stage 8: tsan over the parallel campaign path --------------------------
 # The deterministic parallel engine's data-race gate: thread-pool unit
 # tests plus the jobs=1 == jobs=4 determinism proofs, all with
 # WHEELS_JOBS=4 (set by the tsan-parallel test preset) so every pool and
@@ -140,7 +185,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_TSAN:-1}" == 1 ]]; then
     ctest --preset tsan-parallel || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 8: clang-tidy (best effort: optional in the container) ----------
+# --- Stage 9: clang-tidy (best effort: optional in the container) ----------
 # Every preset exports CMAKE_EXPORT_COMPILE_COMMANDS, so clang-tidy reads
 # the exact flags the build used; the file list comes from the database
 # itself rather than an ad-hoc find.

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event file emitted by the obs subsystem.
+
+Checks, in order:
+  * the file parses as JSON and carries a `traceEvents` list;
+  * every event is a complete ("X") span with the fields the obs exporter
+    promises (name, cat, pid, tid, ts, dur), with integer, non-negative
+    timestamps;
+  * per (pid, tid) lane, spans nest monotonically: any two spans on one
+    lane are either disjoint or one properly contains the other. A partial
+    overlap means a span closed on a different thread than it opened on,
+    or the clock went backwards -- both exporter bugs;
+  * each --require-span PREFIX (repeatable) matches at least one event
+    name, so CI can assert the instrumentation actually covered the
+    phases it claims to (record, per-operator replay, baseline fan-out,
+    dataset cache operations).
+
+Usage: tools/validate_trace.py TRACE.json [--require-span PREFIX]...
+
+Exits 0 when the trace is valid, 1 when any check fails, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+REQUIRED_FIELDS = ("name", "cat", "ph", "pid", "tid", "ts", "dur")
+
+
+def fail(msg: str) -> int:
+    print(f"validate-trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace_event JSON file")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="require at least one span whose name starts with PREFIX "
+        "(repeatable)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {args.trace}: {e}")
+    except json.JSONDecodeError as e:
+        return fail(f"{args.trace} is not valid JSON: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(
+            doc.get("traceEvents"), list):
+        return fail("top level must be an object with a traceEvents list")
+    events = doc["traceEvents"]
+
+    lanes: dict[tuple[int, int], list[tuple[int, int, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"traceEvents[{i}] is not an object")
+        missing = [k for k in REQUIRED_FIELDS if k not in ev]
+        if missing:
+            return fail(f"traceEvents[{i}] is missing {', '.join(missing)}")
+        if ev["ph"] != "X":
+            return fail(
+                f"traceEvents[{i}] has ph={ev['ph']!r}; the obs exporter "
+                "only writes complete ('X') spans")
+        for k in ("pid", "tid", "ts", "dur"):
+            if not isinstance(ev[k], int) or isinstance(ev[k], bool):
+                return fail(f"traceEvents[{i}].{k} is not an integer")
+            if ev[k] < 0:
+                return fail(f"traceEvents[{i}].{k} is negative")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            return fail(f"traceEvents[{i}].name is not a non-empty string")
+        lanes.setdefault((ev["pid"], ev["tid"]), []).append(
+            (ev["ts"], ev["ts"] + ev["dur"], ev["name"]))
+
+    for (pid, tid), spans in sorted(lanes.items()):
+        # Sort by start, widest first, then sweep with a containment
+        # stack: every span must fit inside the innermost open span that
+        # it starts within.
+        spans.sort(key=lambda s: (s[0], -s[1]))
+        stack: list[tuple[int, int, str]] = []
+        for start, end, name in spans:
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                return fail(
+                    f"lane pid={pid} tid={tid}: span {name!r} "
+                    f"[{start}, {end}) partially overlaps "
+                    f"{stack[-1][2]!r} [{stack[-1][0]}, {stack[-1][1]}); "
+                    "spans on one lane must nest")
+            stack.append((start, end, name))
+
+    names = [ev["name"] for ev in events]
+    for prefix in args.require_span:
+        if not any(n.startswith(prefix) for n in names):
+            return fail(
+                f"no span named {prefix}*; expected the instrumentation "
+                "to cover this phase")
+
+    print(f"validate-trace: OK ({len(events)} span(s), "
+          f"{len(lanes)} lane(s), {len(args.require_span)} required "
+          "prefix(es))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <functional>
@@ -35,6 +36,8 @@
 #include "dataset/provider.h"
 #include "dataset/serialize.h"
 #include "logsync/timestamp.h"
+#include "obs/metrics.h"
+#include "obs/runtime.h"
 #include "trip/campaign.h"
 
 namespace {
@@ -63,7 +66,11 @@ int usage(std::ostream& os, int code) {
         "                   byte-identical datasets\n"
         "  --skip-apps      generate: measurement campaign only\n"
         "  --skip-static    generate: skip the static baselines\n"
-        "  --out DIR        export-csv: output directory (default .)\n";
+        "  --out DIR        export-csv: output directory (default .)\n"
+        "  --metrics PATH   write a JSON-lines metrics snapshot on exit\n"
+        "                   (same as WHEELS_METRICS=PATH)\n"
+        "  --trace PATH     write a Chrome trace_event file on exit\n"
+        "                   (same as WHEELS_TRACE=PATH)\n";
   return code;
 }
 
@@ -89,6 +96,8 @@ struct Options {
   int jobs = 0;  // 0 = resolve from WHEELS_JOBS
   bool skip_apps = false;
   bool skip_static = false;
+  std::string metrics_path;  // --metrics: CLI twin of WHEELS_METRICS
+  std::string trace_path;    // --trace: CLI twin of WHEELS_TRACE
 };
 
 Options parse_options(int argc, char** argv) {
@@ -126,6 +135,10 @@ Options parse_options(int argc, char** argv) {
       o.skip_apps = true;
     } else if (arg == "--skip-static") {
       o.skip_static = true;
+    } else if (arg == "--metrics") {
+      o.metrics_path = value();
+    } else if (arg == "--trace") {
+      o.trace_path = value();
     } else if (arg == "-h" || arg == "--help") {
       std::exit(usage(std::cout, 0));
     } else {
@@ -237,6 +250,22 @@ int cmd_info(const Options& o) {
     return 0;
   }
 
+  // Per-operator container names carry an operator slug; recover the
+  // OperatorId by re-deriving the canonical file name for each candidate.
+  const auto op_for_file = [](const std::string& name, dataset::DatasetKind k,
+                              std::uint64_t fingerprint) {
+    for (auto op : ran::kAllOperators) {
+      if (dataset::DatasetCache::file_name(k, fingerprint, op) == name) {
+        return op;
+      }
+    }
+    return ran::OperatorId::Verizon;  // kind is not per-operator
+  };
+
+  // Validation goes through DatasetCache::load -- the same instrumented
+  // path the provider uses -- so the hit/miss/bytes counters below report
+  // exactly what a bench run against this cache would see.
+  dataset::DatasetCache cache(dir);
   TextTable t({"file", "kind", "fingerprint", "payload", "status"});
   int bad = 0;
   for (const auto& path : files) {
@@ -252,17 +281,28 @@ int cmd_info(const Options& o) {
     char fp[17];
     std::snprintf(fp, sizeof fp, "%016llx",
                   static_cast<unsigned long long>(header->fingerprint));
+    const auto name = path.filename().string();
     const bool ok =
-        dataset::unwrap_dataset(bytes, header->kind, header->fingerprint)
+        cache
+            .load(header->kind, header->fingerprint,
+                  op_for_file(name, header->kind, header->fingerprint))
             .has_value();
     if (!ok) ++bad;
-    t.add_row({path.filename().string(),
-               std::string(dataset::to_string(header->kind)), fp,
+    t.add_row({name, std::string(dataset::to_string(header->kind)), fp,
                std::to_string(header->payload_bytes) + " B",
                ok ? "ok" : "CORRUPT"});
   }
   t.print(std::cout);
   std::cout << files.size() << " dataset(s), " << bad << " invalid\n";
+
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const auto counter = [&snap](std::string_view name) -> long long {
+    const obs::MetricValue* mv = snap.find(name);
+    return mv != nullptr ? static_cast<long long>(mv->value) : 0;
+  };
+  std::cout << "cache ops: " << counter("dataset.cache.hits") << " hits, "
+            << counter("dataset.cache.misses") << " misses, "
+            << counter("dataset.cache.bytes_read") << " bytes read\n";
   return bad == 0 ? 0 : 1;
 }
 
@@ -400,6 +440,11 @@ int cmd_export_csv(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse_options(argc, argv);
+  // Env vars first, CLI flags second: --metrics/--trace win when both name
+  // a path. Exports flush at process exit.
+  obs::init_from_env();
+  if (!o.metrics_path.empty()) obs::set_metrics_export_path(o.metrics_path);
+  if (!o.trace_path.empty()) obs::set_trace_export_path(o.trace_path);
   if (o.command == "generate") return cmd_generate(o);
   if (o.command == "info") return cmd_info(o);
   if (o.command == "export-csv") return cmd_export_csv(o);

@@ -31,6 +31,11 @@ enforces it mechanically:
                     parallel campaign engine touches a module from several
                     workers at once; hoist to a namespace-scope constinit
                     object or pass explicit state instead.
+  steady-clock      std::chrono::steady_clock::now() (or any
+                    high_resolution_clock use) in src/ outside src/obs/.
+                    Wall-clock measurement must flow through obs::now_ns()
+                    (src/obs/clock.h) so tests can swap the source and so
+                    timing never leaks into simulation output.
   pragma-once       every header must start its include guard with
                     #pragma once.
   include-hygiene   quoted includes in src/ must be module-qualified
@@ -131,6 +136,9 @@ RULES = {
     "static-local":
         "mutable function-local static in src/ (init races under the "
         "parallel campaign engine)",
+    "steady-clock":
+        "host monotonic clock read in src/ outside src/obs/ (use "
+        "obs::now_ns())",
     "pragma-once":
         "header missing #pragma once",
     "include-hygiene":
@@ -349,6 +357,31 @@ def check_duplicate_fork(relpath: str, text: str) -> list[Finding]:
     return findings
 
 
+STEADY_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*(?:steady_clock\s*::\s*now\s*\(|"
+    r"high_resolution_clock\b)")
+
+
+def check_steady_clock(relpath: str, lines: list[str]) -> list[Finding]:
+    """src/obs/clock.cpp is the one blessed reader of the host monotonic
+    clock; every other src/ file must measure through obs::now_ns() so the
+    timestamp source stays swappable in tests (set_clock_for_testing) and
+    wall-clock time cannot leak into simulation output."""
+    if not relpath.startswith("src/") or relpath.startswith("src/obs/"):
+        return []
+    findings = []
+    for idx, line in enumerate(lines, start=1):
+        if STEADY_CLOCK_RE.search(line):
+            findings.append(
+                Finding(
+                    relpath, idx, "steady-clock",
+                    "direct host monotonic clock read: call obs::now_ns() "
+                    "(src/obs/clock.h) instead so tests can swap the "
+                    "timestamp source and timing stays out of simulation "
+                    "output"))
+    return findings
+
+
 STATIC_RE = re.compile(r"\bstatic\b")
 SCOPE_TYPE_RE = re.compile(r"\b(class|struct|union|enum|namespace)\b")
 STATIC_EXEMPT_RE = re.compile(r"\b(const|constexpr|constinit)\b")
@@ -517,6 +550,7 @@ def lint_file(path: str, root: str, module_dirs: set[str]) -> list[Finding]:
     findings += check_duplicate_fork(
         relpath, strip_comments_and_strings(raw, keep_strings=True))
     findings += check_static_local(relpath, stripped)
+    findings += check_steady_clock(relpath, lines)
     findings += check_pragma_once(relpath, stripped)
     findings += check_include_hygiene(relpath, stripped, module_dirs)
     findings += check_relative_include(relpath, stripped)

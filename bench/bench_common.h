@@ -65,6 +65,8 @@ inline int stride_from(int argc, char** argv, int fallback) {
     std::exit(2);
   }
   if (argc > 1) return parse_stride_or_exit(argv[1], "argv[1]", argv[0]);
+  // WHEELS_BENCH_STRIDE / WHEELS_BENCH_JSON below are declared in
+  // tools/contracts.json; new bench knobs must be registered there too.
   if (const char* env = std::getenv("WHEELS_BENCH_STRIDE")) {
     return parse_stride_or_exit(env, "WHEELS_BENCH_STRIDE", argv[0]);
   }

@@ -25,7 +25,9 @@ namespace wheels::dataset {
 // simulation bytes change for an unchanged fingerprint (v2: per-city ping
 // RNG streams in the static baseline). Readers reject files written under
 // a different version (no migration: datasets are cheap to regenerate from
-// the seed).
+// the seed). Both pins are registered in tools/contracts.json -- bump the
+// registry (with a fresh golden) in the same change, or the
+// wheels-contract schema-pin rule fails CI.
 inline constexpr std::uint32_t kSchemaVersion = 2;
 
 inline constexpr std::string_view kMagic = "WDS1";

@@ -1,0 +1,5 @@
+// Fixture test spelling the golden pin as a literal; the golden-pin rule
+// must accept it here and flag the drifted_golden copy.
+constexpr unsigned long long kGoldenChecksum = 0x00000000deadbeefULL;
+
+int main() { return kGoldenChecksum == 0 ? 1 : 0; }

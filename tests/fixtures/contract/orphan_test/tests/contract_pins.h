@@ -1,0 +1,29 @@
+// GENERATED FILE -- do not edit by hand.
+//
+// Single-source determinism pins, rendered from tools/contracts.json by
+// `tools/wheels_contract.py --fix-pins`. The wheels-contract analyzer
+// (pins-stale rule) fails CI whenever this header and the registry
+// disagree, so a deliberate golden/schema bump is a one-line registry
+// edit plus a regeneration -- never a hunt for scattered literals.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wheels::contract {
+
+// Dataset container format (src/dataset/serialize.h must agree; the
+// schema-pin rule cross-checks).
+inline constexpr std::uint32_t kSchemaVersion = 1;
+inline constexpr std::string_view kDatasetMagic = "WDS1";
+
+// The golden campaign: FNV-1a checksum of encode(CampaignResult) for
+// this seed/stride pair, pinning every stochastic process in the
+// pipeline. Regenerate deliberately via the registry, never by editing
+// this file.
+inline constexpr std::uint64_t kGoldenSeed = 7;
+inline constexpr int kGoldenStride = 8;
+inline constexpr std::uint64_t kGoldenCampaignChecksum =
+    0x00000000deadbeefULL;
+
+}  // namespace wheels::contract

@@ -1,0 +1,3 @@
+// Deliberately not registered in tests/CMakeLists.txt: the
+// ctest-registration rule must flag this file.
+int main() { return 0; }

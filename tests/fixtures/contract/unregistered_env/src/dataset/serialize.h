@@ -1,0 +1,8 @@
+#pragma once
+// Fixture stand-in for the real serialize.h: the schema-pin rule reads
+// these two constants.
+#include <cstdint>
+#include <string_view>
+
+inline constexpr std::uint32_t kSchemaVersion = 1;
+inline constexpr std::string_view kMagic = "WDS1";

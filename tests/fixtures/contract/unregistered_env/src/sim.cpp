@@ -1,0 +1,15 @@
+// Fixture consumer of every registry surface the analyzer scans src/
+// for: a declared runtime env var, a metric under the declared prefix,
+// and a literal covering the required span prefix.
+#include <cstdlib>
+
+struct Registry {
+  int counter(const char*) { return 0; }
+};
+
+int run() {
+  (void)std::getenv("WHEELS_FOO");
+  (void)std::getenv("WHEELS_BAR");
+  Registry reg;
+  return reg.counter("sim.run.total");
+}

@@ -1,0 +1,43 @@
+// Fixture: every floating-point reassociation hazard must fire
+// fp-reassoc; the ordered accumulate at the bottom must not.
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bad_fp.h"
+
+#pragma STDC FP_CONTRACT ON
+
+namespace wheels {
+
+#pragma float_control(precise, off)
+
+double reduce_losses(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);
+}
+
+double weighted(const std::vector<double>& xs) {
+  return std::transform_reduce(xs.begin(), xs.end(), xs.begin(), 0.0);
+}
+
+__attribute__((optimize("fast-math")))
+double fast_sum(const std::vector<double>& xs) {
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total;
+}
+
+double sum_cells(const std::unordered_map<std::string, double>& cells) {
+  return std::accumulate(cells.begin(), cells.end(), 0.0,
+                         [](double acc, const auto& kv) {
+                           return acc + kv.second;
+                         });
+}
+
+// Accumulating an ordered range is the blessed spelling.
+double sum_vector(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+}  // namespace wheels

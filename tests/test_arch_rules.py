@@ -146,6 +146,28 @@ class JsonFormat(unittest.TestCase):
         self.assertGreater(doc["files_scanned"], 0)
 
 
+class SarifFormat(unittest.TestCase):
+    def test_sarif_round_trips_the_json_findings(self):
+        _, json_out = run_arch("layering_violation", "--format=json")
+        code, sarif_out = run_arch("layering_violation", "--format=sarif")
+        self.assertEqual(code, 1, sarif_out)
+        native = json.loads(json_out)["findings"]
+        doc = json.loads(sarif_out)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "wheels-arch")
+        results = run["results"]
+        self.assertEqual(len(results), len(native))
+        for res, f in zip(results, native):
+            self.assertEqual(res["ruleId"], f["rule"])
+            self.assertEqual(res["message"]["text"], f["message"])
+            loc = res["locations"][0]["physicalLocation"]
+            self.assertEqual(loc["artifactLocation"]["uri"], f["path"])
+            self.assertEqual(loc["region"]["startLine"], f["line"])
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        self.assertEqual(rule_ids, {f["rule"] for f in native})
+
+
 class HeaderSelfSufficiency(unittest.TestCase):
     """Compiles the selfcheck fixture headers exactly the way the CMake
     header_selfcheck target does: one synthetic `#include "<header>"` TU

@@ -5,8 +5,9 @@ The heavy stages (dataset CLI, trace validation, header selfcheck,
 werror/sanitizer builds, clang-tidy) are env-disabled so every case here finishes in
 seconds; what's under test is the driver itself: stage toggles, --quick,
 unknown-flag rejection, and failure propagation from a stage into the
-script's exit status (injected via the WHEELS_CI_LINT_ROOT test hook,
-which points the full-repo lint at a known-violating fixture tree).
+script's exit status (injected via the WHEELS_CI_LINT_ROOT /
+WHEELS_CI_CONTRACT_ROOT test hooks, which point the full-repo lint or
+contract check at a known-violating fixture tree).
 
 Run directly (python3 tests/test_ci_driver.py) or via ctest.
 """
@@ -46,12 +47,13 @@ def run_driver(*args, extra_env=None):
 
 class QuickPass(unittest.TestCase):
     def test_quick_with_light_stages_passes(self):
-        # lint + arch stages stay on; both must run and the driver must
-        # report overall success.
+        # lint + arch + contract stages stay on; all must run and the
+        # driver must report overall success.
         code, out = run_driver("--quick")
         self.assertEqual(code, 0, out)
         self.assertIn("wheels-lint: full repo", out)
         self.assertIn("wheels-arch: full repo", out)
+        self.assertIn("wheels-contract: full repo", out)
         self.assertIn("static analysis OK", out)
 
     def test_disabled_stages_do_not_run(self):
@@ -85,11 +87,47 @@ class InjectedFailure(unittest.TestCase):
         self.assertIn("static analysis FAILED", out)
 
 
+class ContractStage(unittest.TestCase):
+    """The wheels-contract stage: a member of --quick, toggleable via
+    WHEELS_CI_CONTRACT, failure-injectable via WHEELS_CI_CONTRACT_ROOT."""
+
+    def test_contract_stage_runs_under_quick(self):
+        code, out = run_driver(
+            "--quick", extra_env={"WHEELS_CI_LINT": "0",
+                                  "WHEELS_CI_ARCH": "0"})
+        self.assertEqual(code, 0, out)
+        self.assertIn("wheels-contract: rule self-tests", out)
+        self.assertIn("wheels-contract: full repo", out)
+
+    def test_toggle_disables_the_stage(self):
+        code, out = run_driver(
+            "--quick", extra_env={"WHEELS_CI_CONTRACT": "0"})
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("wheels-contract", out)
+
+    def test_contract_failure_fails_the_driver(self):
+        # Point the full-repo contract check at the drifted-golden fixture
+        # tree; the stage must fail and the driver must exit 1.
+        bad_root = os.path.join(TESTS_DIR, "fixtures", "contract",
+                                "drifted_golden")
+        code, out = run_driver(
+            "--quick",
+            extra_env={
+                "WHEELS_CI_LINT": "0",
+                "WHEELS_CI_ARCH": "0",
+                "WHEELS_CI_CONTRACT_ROOT": bad_root,
+            })
+        self.assertEqual(code, 1, out)
+        self.assertIn("golden-pin", out)
+        self.assertIn("static analysis FAILED", out)
+
+
 class StageToggles(unittest.TestCase):
     def test_everything_disabled_still_summarizes_ok(self):
         code, out = run_driver(
             "--quick",
-            extra_env={"WHEELS_CI_LINT": "0", "WHEELS_CI_ARCH": "0"})
+            extra_env={"WHEELS_CI_LINT": "0", "WHEELS_CI_ARCH": "0",
+                       "WHEELS_CI_CONTRACT": "0"})
         self.assertEqual(code, 0, out)
         self.assertIn("static analysis OK", out)
         self.assertNotIn("wheels-lint", out)

@@ -1,0 +1,268 @@
+#!/usr/bin/env python3
+"""Tests for tools/wheels_contract.py (and validate_trace.py --contracts).
+
+Each fixture directory under tests/fixtures/contract/ is a miniature
+repo (tools/contracts.json + the artifacts the analyzer cross-checks)
+run with --root. The good tree must pass every rule; each drift tree
+breaks exactly one artifact and must be caught with a file:line finding.
+The fix modes (--fix-pins / --fix-docs) are exercised on temp copies so
+the checked-in fixtures stay byte-stable.
+
+Run directly (python3 tests/test_contract_rules.py) or via ctest.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(TESTS_DIR)
+CONTRACT = os.path.join(REPO_ROOT, "tools", "wheels_contract.py")
+VALIDATE_TRACE = os.path.join(REPO_ROOT, "tools", "validate_trace.py")
+FIXTURES = os.path.join(TESTS_DIR, "fixtures", "contract")
+
+
+def run_contract(fixture, *extra):
+    root = os.path.join(FIXTURES, fixture)
+    return run_contract_at(root, *extra)
+
+
+def run_contract_at(root, *extra):
+    proc = subprocess.run(
+        [sys.executable, CONTRACT, "--root", root, *extra],
+        capture_output=True,
+        text=True,
+        check=False)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class GoodFixture(unittest.TestCase):
+    def test_clean_tree_passes(self):
+        code, out, err = run_contract("good")
+        self.assertEqual(code, 0, out + err)
+        self.assertIn("OK", out)
+
+    def test_list_rules_names_every_rule(self):
+        proc = subprocess.run(
+            [sys.executable, CONTRACT, "--list-rules"],
+            capture_output=True, text=True, check=False)
+        self.assertEqual(proc.returncode, 0)
+        for rule in ("registry", "schema-pin", "golden-pin", "pins-stale",
+                     "env-undeclared", "env-unused", "doc-drift",
+                     "cli-flag", "span-prefix", "ci-stage",
+                     "ctest-registration"):
+            self.assertIn(rule, proc.stdout)
+
+
+class StaleDocPin(unittest.TestCase):
+    def test_stale_readme_checksum_fires_with_location(self):
+        code, out, _ = run_contract("stale_doc")
+        self.assertEqual(code, 1, out)
+        # Both views of the same drift: the generated table no longer
+        # matches its render, and the stale literal itself is flagged.
+        self.assertIn("README.md:8: [doc-drift]", out)
+        self.assertIn("README.md:13: [golden-pin]", out)
+        self.assertIn("0x1111111111111111", out)
+
+    def test_fix_docs_repairs_the_drift(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = os.path.join(tmp, "stale_doc")
+            shutil.copytree(os.path.join(FIXTURES, "stale_doc"), root)
+            code, out, err = run_contract_at(root, "--fix-docs")
+            self.assertEqual(code, 0, out + err)
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 0, out)
+
+
+class DriftedGolden(unittest.TestCase):
+    def test_code_literal_differing_from_registry_fires(self):
+        code, out, _ = run_contract("drifted_golden")
+        self.assertEqual(code, 1, out)
+        self.assertIn("tests/test_pin.cpp:3: [golden-pin]", out)
+        self.assertIn("0x00000000cafef00d", out)
+        self.assertIn("0x00000000deadbeef", out)
+
+
+class UnregisteredEnv(unittest.TestCase):
+    def test_undeclared_getenv_fires_at_the_call_site(self):
+        code, out, _ = run_contract("unregistered_env")
+        self.assertEqual(code, 1, out)
+        self.assertIn("src/sim.cpp:12: [env-undeclared]", out)
+        self.assertIn("WHEELS_BAR", out)
+
+    def test_declared_vars_do_not_fire(self):
+        _, out, _ = run_contract("unregistered_env")
+        self.assertNotIn("WHEELS_FOO", out)
+
+
+class OrphanTest(unittest.TestCase):
+    def test_unregistered_test_file_fires(self):
+        code, out, _ = run_contract("orphan_test")
+        self.assertEqual(code, 1, out)
+        self.assertIn("tests/test_orphan.cpp:1: [ctest-registration]", out)
+
+    def test_registered_test_stays_quiet(self):
+        _, out, _ = run_contract("orphan_test")
+        self.assertNotIn("test_pin.cpp", out)
+
+
+class PinsHeader(unittest.TestCase):
+    def test_missing_pins_header_fires_and_fix_pins_regenerates(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = os.path.join(tmp, "good")
+            shutil.copytree(os.path.join(FIXTURES, "good"), root)
+            os.remove(os.path.join(root, "tests", "contract_pins.h"))
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("tests/contract_pins.h:1: [pins-stale]", out)
+            code, out, err = run_contract_at(root, "--fix-pins")
+            self.assertEqual(code, 0, out + err)
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 0, out)
+
+    def test_hand_edited_pins_header_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = os.path.join(tmp, "good")
+            shutil.copytree(os.path.join(FIXTURES, "good"), root)
+            pins = os.path.join(root, "tests", "contract_pins.h")
+            with open(pins, "a", encoding="utf-8") as f:
+                f.write("// hand edit\n")
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("[pins-stale]", out)
+
+
+class RegistryValidation(unittest.TestCase):
+    def test_unreadable_registry_is_a_usage_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            code, _, err = run_contract_at(tmp)
+            self.assertEqual(code, 2, err)
+            self.assertIn("cannot read", err)
+
+    def test_missing_golden_for_schema_version_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = os.path.join(tmp, "good")
+            shutil.copytree(os.path.join(FIXTURES, "good"), root)
+            reg_path = os.path.join(root, "tools", "contracts.json")
+            with open(reg_path, encoding="utf-8") as f:
+                reg = json.load(f)
+            reg["schema_version"] = 9  # no golden registered for 9
+            with open(reg_path, "w", encoding="utf-8") as f:
+                json.dump(reg, f, indent=2)
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("[registry]", out)
+            self.assertIn("schema version 9", out)
+
+
+class OutputFormats(unittest.TestCase):
+    def test_findings_serialize_with_rule_path_line_message(self):
+        code, out, _ = run_contract("drifted_golden", "--format=json")
+        self.assertEqual(code, 1, out)
+        doc = json.loads(out)
+        self.assertEqual(doc["tool"], "wheels-contract")
+        self.assertEqual(len(doc["findings"]), 1, out)
+        f = doc["findings"][0]
+        self.assertEqual(f["rule"], "golden-pin")
+        self.assertEqual(f["path"], "tests/test_pin.cpp")
+        self.assertEqual(f["line"], 3)
+        self.assertIn("registry pin", f["message"])
+
+    def test_clean_tree_serializes_empty_findings(self):
+        code, out, _ = run_contract("good", "--format=json")
+        self.assertEqual(code, 0, out)
+        doc = json.loads(out)
+        self.assertEqual(doc["findings"], [])
+        self.assertGreater(doc["files_scanned"], 0)
+
+    def test_sarif_round_trips_the_json_findings(self):
+        _, json_out, _ = run_contract("stale_doc", "--format=json")
+        code, sarif_out, _ = run_contract("stale_doc", "--format=sarif")
+        self.assertEqual(code, 1, sarif_out)
+        native = json.loads(json_out)["findings"]
+        doc = json.loads(sarif_out)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "wheels-contract")
+        results = run["results"]
+        self.assertEqual(len(results), len(native))
+        for res, f in zip(results, native):
+            self.assertEqual(res["ruleId"], f["rule"])
+            self.assertEqual(res["message"]["text"], f["message"])
+            loc = res["locations"][0]["physicalLocation"]
+            self.assertEqual(loc["artifactLocation"]["uri"], f["path"])
+            self.assertEqual(loc["region"]["startLine"], f["line"])
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        self.assertEqual(rule_ids, {f["rule"] for f in native})
+
+
+class ValidateTraceContracts(unittest.TestCase):
+    """The satellite: validate_trace.py loads its required span prefixes
+    from the registry instead of hard-coded flags."""
+
+    REGISTRY = os.path.join(FIXTURES, "good", "tools", "contracts.json")
+
+    def run_validate(self, events, *extra):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as f:
+            json.dump({"traceEvents": events}, f)
+            path = f.name
+        try:
+            proc = subprocess.run(
+                [sys.executable, VALIDATE_TRACE, path, *extra],
+                capture_output=True, text=True, check=False)
+            return proc.returncode, proc.stdout, proc.stderr
+        finally:
+            os.unlink(path)
+
+    @staticmethod
+    def span(name, ts=0, dur=1):
+        return {"name": name, "cat": "wheels", "ph": "X", "pid": 1,
+                "tid": 1, "ts": ts, "dur": dur}
+
+    def test_registry_prefixes_are_required(self):
+        # The fixture registry requires a sim.run* span.
+        code, out, err = self.run_validate(
+            [self.span("sim.run.total")], "--contracts", self.REGISTRY)
+        self.assertEqual(code, 0, out + err)
+        code, _, err = self.run_validate(
+            [self.span("other.phase")], "--contracts", self.REGISTRY)
+        self.assertEqual(code, 1, err)
+        self.assertIn("sim.run", err)
+
+    def test_contracts_and_require_span_compose(self):
+        code, _, err = self.run_validate(
+            [self.span("sim.run.total")],
+            "--contracts", self.REGISTRY, "--require-span", "extra.")
+        self.assertEqual(code, 1, err)
+        self.assertIn("extra.", err)
+
+    def test_bad_registry_is_a_usage_error(self):
+        code, _, err = self.run_validate(
+            [self.span("sim.run.total")], "--contracts", "/nonexistent.json")
+        self.assertEqual(code, 2, err)
+
+
+class RepoIsClean(unittest.TestCase):
+    def test_real_repo_passes(self):
+        code, out, err = run_contract_at(REPO_ROOT)
+        self.assertEqual(code, 0, out + err)
+
+    def test_real_registry_pins_the_documented_golden(self):
+        # The acceptance pin: the registry (single source of truth) still
+        # carries the PR-2 golden for the current schema version.
+        with open(os.path.join(REPO_ROOT, "tools", "contracts.json"),
+                  encoding="utf-8") as f:
+            reg = json.load(f)
+        golden = reg["golden_checksums"][str(reg["schema_version"])]
+        self.assertEqual(golden["checksum"], "0xbba11b2dda6d2b08")
+        self.assertEqual(golden["seed"], 42)
+        self.assertEqual(golden["stride"], 64)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

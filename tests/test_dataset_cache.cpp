@@ -10,6 +10,7 @@
 #include <fstream>
 #include <string>
 
+#include "contract_pins.h"
 #include "dataset/cache.h"
 #include "dataset/fingerprint.h"
 #include "dataset/provider.h"
@@ -20,24 +21,31 @@ namespace {
 
 namespace fs = std::filesystem;
 
-constexpr int kStride = 64;
-// FNV-1a of encode(CampaignResult) for seed 42, stride 64. Regenerate with
-// `build/tools/wheels_campaign generate --stride 64` + this test's failure
-// message after an *intentional* simulation or schema change.
-constexpr std::uint64_t kGoldenCampaignChecksum = 0xbba11b2dda6d2b08ULL;
+// All determinism pins come from tests/contract_pins.h (generated from
+// tools/contracts.json); an intentional simulation or schema change is a
+// registry edit + `tools/wheels_contract.py --fix-pins`, never an edit
+// here. The container format the cache writes must be the registry's.
+static_assert(kSchemaVersion == contract::kSchemaVersion,
+              "src/dataset/serialize.h schema drifted from the registry");
+static_assert(kMagic == contract::kDatasetMagic,
+              "src/dataset/serialize.h magic drifted from the registry");
+
+constexpr int kStride = contract::kGoldenStride;
+constexpr std::uint64_t kGoldenCampaignChecksum =
+    contract::kGoldenCampaignChecksum;
 
 const char kDir[] = "dataset-cache-test";
 
 trip::CampaignConfig small_cfg() {
   trip::CampaignConfig cfg;
-  cfg.seed = 42;
+  cfg.seed = contract::kGoldenSeed;
   cfg.cycle_stride = kStride;
   return cfg;
 }
 
 apps::AppCampaignConfig small_app_cfg() {
   apps::AppCampaignConfig cfg;
-  cfg.seed = 42;
+  cfg.seed = contract::kGoldenSeed;
   cfg.cycle_stride = kStride;
   return cfg;
 }
@@ -80,8 +88,9 @@ TEST(DatasetCache, GoldenChecksumPinsSeed42Dataset) {
   ASSERT_EQ(p.campaign_simulations(), 0) << "expected a warm cache";
   const std::uint64_t checksum = fnv1a(encode(res));
   EXPECT_EQ(checksum, kGoldenCampaignChecksum)
-      << "seed-42 stride-64 dataset changed; if intentional, repin "
-      << "kGoldenCampaignChecksum to 0x" << std::hex << checksum;
+      << "seed-42 stride-64 dataset changed; if intentional, repin the "
+      << "golden in tools/contracts.json to 0x" << std::hex << checksum
+      << " and rerun tools/wheels_contract.py --fix-pins --fix-docs";
 }
 
 TEST(DatasetCache, CorruptFileFallsBackToSimulation) {

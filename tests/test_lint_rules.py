@@ -202,6 +202,47 @@ class SteadyClock(unittest.TestCase):
         self.assertNotIn("suppressed_timing.cpp", out)
 
 
+class FpReassoc(unittest.TestCase):
+    def test_all_reassociation_hazards_fire(self):
+        code, out = run_lint("fp_reassoc")
+        self.assertEqual(code, 1, out)
+        # FP_CONTRACT pragma, float_control pragma, std::reduce,
+        # std::transform_reduce, fast-math attribute, accumulate over an
+        # unordered map -- and nothing else.
+        self.assertEqual(out.count("fp-reassoc"), 6, out)
+        for line in (10, 14, 17, 21, 24, 32):
+            self.assertIn(f"bad_fp.cpp:{line}:", out)
+
+    def test_ordered_accumulate_stays_quiet(self):
+        # The std::accumulate over a vector at the bottom of the fixture.
+        _, out = run_lint("fp_reassoc")
+        self.assertNotIn(":40:", out)
+
+
+class SarifFormat(unittest.TestCase):
+    def test_sarif_round_trips_the_json_findings(self):
+        # The SARIF document must carry exactly the findings the native
+        # JSON format reports, field for field.
+        _, json_out = run_lint("relative_include", "--format=json")
+        code, sarif_out = run_lint("relative_include", "--format=sarif")
+        self.assertEqual(code, 1, sarif_out)
+        native = json.loads(json_out)["findings"]
+        doc = json.loads(sarif_out)
+        self.assertEqual(doc["version"], "2.1.0")
+        run = doc["runs"][0]
+        self.assertEqual(run["tool"]["driver"]["name"], "wheels-lint")
+        results = run["results"]
+        self.assertEqual(len(results), len(native))
+        for res, f in zip(results, native):
+            self.assertEqual(res["ruleId"], f["rule"])
+            self.assertEqual(res["message"]["text"], f["message"])
+            loc = res["locations"][0]["physicalLocation"]
+            self.assertEqual(loc["artifactLocation"]["uri"], f["path"])
+            self.assertEqual(loc["region"]["startLine"], f["line"])
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        self.assertEqual(rule_ids, {f["rule"] for f in native})
+
+
 class AllowSuppression(unittest.TestCase):
     def test_allow_comment_suppresses_same_and_previous_line(self):
         code, out = run_lint("allow_suppression")

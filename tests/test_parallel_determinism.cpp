@@ -11,6 +11,7 @@
 
 #include <string>
 
+#include "contract_pins.h"
 #include "dataset/serialize.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -79,18 +80,18 @@ TEST(ParallelDeterminism, RepeatedParallelRunsAreIdentical) {
 }
 
 TEST(ParallelDeterminism, GoldenChecksumWithParallelJobs) {
-  // The same pin as test_dataset_cache.cpp (seed 42, stride 64): the
-  // parallel engine must land on the exact bytes the sequential PR-2
-  // engine produced. Repin both tests together after an intentional
-  // simulation change.
-  constexpr std::uint64_t kGoldenCampaignChecksum = 0xbba11b2dda6d2b08ULL;
+  // The same pin as test_dataset_cache.cpp (seed 42, stride 64), read
+  // from the generated tests/contract_pins.h: the parallel engine must
+  // land on the exact bytes the sequential PR-2 engine produced. An
+  // intentional simulation change repins tools/contracts.json once and
+  // every consumer follows.
   CampaignConfig cfg;
-  cfg.seed = 42;
-  cfg.cycle_stride = 64;
+  cfg.seed = contract::kGoldenSeed;
+  cfg.cycle_stride = contract::kGoldenStride;
   Campaign c(cfg);
   c.set_jobs(4);
   const std::uint64_t checksum = dataset::fnv1a(dataset::encode(c.run()));
-  EXPECT_EQ(checksum, kGoldenCampaignChecksum)
+  EXPECT_EQ(checksum, contract::kGoldenCampaignChecksum)
       << "parallel campaign produced 0x" << std::hex << checksum;
 }
 
@@ -133,20 +134,19 @@ TEST(ParallelDeterminism, ObservabilityTransparentAcrossJobs) {
 TEST(ParallelDeterminism, GoldenChecksumWithObservabilityEnabled) {
   // Same pin as GoldenChecksumWithParallelJobs, now with tracing live:
   // the seed-42 stride-64 bytes may not move when observability is on.
-  constexpr std::uint64_t kGoldenCampaignChecksum = 0xbba11b2dda6d2b08ULL;
   obs::set_trace_enabled(true);
   obs::clear_trace_events();
 
   CampaignConfig cfg;
-  cfg.seed = 42;
-  cfg.cycle_stride = 64;
+  cfg.seed = contract::kGoldenSeed;
+  cfg.cycle_stride = contract::kGoldenStride;
   Campaign c(cfg);
   c.set_jobs(4);
   const std::uint64_t checksum = dataset::fnv1a(dataset::encode(c.run()));
 
   obs::set_trace_enabled(false);
   obs::clear_trace_events();
-  EXPECT_EQ(checksum, kGoldenCampaignChecksum)
+  EXPECT_EQ(checksum, contract::kGoldenCampaignChecksum)
       << "campaign with tracing enabled produced 0x" << std::hex << checksum;
 }
 

@@ -5,34 +5,41 @@
 #   1. wheels-lint       determinism/hygiene linter + its own rule tests
 #   2. wheels-arch       include-graph architecture analyzer (layer DAG,
 #                        cycles, orphan headers) + its own rule tests
-#   3. dataset CLI       wheels_campaign smoke (argument validation, info
+#   3. wheels-contract   cross-artifact determinism-pin analyzer
+#                        (tools/contracts.json vs code, tests, docs, CI)
+#                        + its own rule tests
+#   4. dataset CLI       wheels_campaign smoke (argument validation, info
 #                        on an empty cache; no simulation)
-#   4. trace validation  stride-64 bench with WHEELS_TRACE into a fresh
+#   5. trace validation  stride-64 bench with WHEELS_TRACE into a fresh
 #                        cache dir; the emitted Chrome trace must parse,
 #                        nest monotonically per thread and cover the
-#                        record/replay/baseline/cache phases
-#                        (tools/validate_trace.py)
-#   5. header selfcheck  one synthetic TU per src/**/*.h compiled under
+#                        registry's required_span_prefixes
+#                        (tools/validate_trace.py --contracts)
+#   6. header selfcheck  one synthetic TU per src/**/*.h compiled under
 #                        the werror flag set (header self-sufficiency)
-#   6. werror build      expanded warning set promoted to errors
-#   7. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
-#   8. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
+#   7. werror build      expanded warning set promoted to errors
+#   8. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
+#   9. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
 #                        under ThreadSanitizer (the parallel replay path)
-#   9. clang-tidy        only when clang-tidy is installed (optional
+#  10. clang-tidy        only when clang-tidy is installed (optional
 #                        stage); consumes build/compile_commands.json
 #                        exported by the default preset so local and CI
 #                        invocations analyze identical command lines
 #
 # Usage: tools/run_static_analysis.sh [--quick]
-#   --quick     skip the sanitizer ctest runs (stages 7-8)
+#   --quick     skip the sanitizer ctest runs (stages 8-9)
 #
-# Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_ARCH=0, WHEELS_CI_DATASET=0,
-#              WHEELS_CI_TRACE=0, WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0,
-#              WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0,
-#              WHEELS_CI_JOBS=<n>
+# Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_ARCH=0, WHEELS_CI_CONTRACT=0,
+#              WHEELS_CI_DATASET=0, WHEELS_CI_TRACE=0, WHEELS_CI_HEADERS=0,
+#              WHEELS_CI_WERROR=0, WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0,
+#              WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
 # Test hooks:  WHEELS_CI_LINT_ROOT=<dir> lints that tree instead of the
-#              repo (used by tests/test_ci_driver.py to inject a known
-#              lint failure without touching the real sources).
+#              repo, WHEELS_CI_CONTRACT_ROOT=<dir> likewise for the
+#              contract check (used by tests/test_ci_driver.py to inject
+#              known failures without touching the real sources).
+# The stage list, toggles and --quick membership are themselves pinned in
+# tools/contracts.json; the ci-stage rule fails when this file and the
+# registry disagree.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -70,7 +77,21 @@ if [[ "${WHEELS_CI_ARCH:-1}" == 1 ]]; then
   python3 tools/wheels_arch.py --root "$ROOT" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 3: dataset CLI smoke --------------------------------------------
+# --- Stage 3: contract analyzer --------------------------------------------
+# Cross-checks the determinism-pin registry (tools/contracts.json) against
+# every artifact that spells a pin: golden/schema literals, WHEELS_* env
+# vars, obs name prefixes, CLI flags, ctest registration, the generated
+# pins header and README tables, and this driver's own stage list.
+if [[ "${WHEELS_CI_CONTRACT:-1}" == 1 ]]; then
+  banner "wheels-contract: rule self-tests"
+  python3 tests/test_contract_rules.py || FAILURES=$((FAILURES + 1))
+  banner "wheels-contract: full repo"
+  python3 tools/wheels_contract.py \
+    --root "${WHEELS_CI_CONTRACT_ROOT:-$ROOT}" \
+    || FAILURES=$((FAILURES + 1))
+fi
+
+# --- Stage 4: dataset CLI smoke --------------------------------------------
 # Builds wheels_campaign and checks the argument/exit-code contract without
 # running a simulation: `info` on an empty cache succeeds, malformed input
 # and unknown subcommands must exit non-zero.
@@ -102,13 +123,12 @@ if [[ "${WHEELS_CI_DATASET:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 4: trace validation ---------------------------------------------
+# --- Stage 5: trace validation ---------------------------------------------
 # Runs the stride-64 Fig.3 bench cold with WHEELS_TRACE armed and checks
 # the exported Chrome trace_event file: parseable JSON, spans nest
-# monotonically within each thread lane, and every instrumented phase
-# (record, per-operator replay, baseline fan-out, dataset cache and
-# simulate operations) actually shows up. Catches exporter regressions
-# that the unit tests' synthetic clocks cannot.
+# monotonically within each thread lane, and every phase the contract
+# registry's required_span_prefixes names actually shows up. Catches
+# exporter regressions that the unit tests' synthetic clocks cannot.
 if [[ "${WHEELS_CI_TRACE:-1}" == 1 ]]; then
   banner "trace validation (stride-64 bench with WHEELS_TRACE)"
   cmake --preset default >/dev/null
@@ -123,11 +143,7 @@ if [[ "${WHEELS_CI_TRACE:-1}" == 1 ]]; then
       || TRACE_OK=0
     if [[ "$TRACE_OK" == 1 ]]; then
       python3 tools/validate_trace.py "$TRACE_DIR/trace.json" \
-        --require-span campaign.record \
-        --require-span campaign.replay. \
-        --require-span campaign.baseline. \
-        --require-span dataset.cache. \
-        --require-span dataset.simulate. \
+        --contracts tools/contracts.json \
         || TRACE_OK=0
     fi
     rm -rf "$TRACE_DIR"
@@ -142,7 +158,7 @@ if [[ "${WHEELS_CI_TRACE:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 5: header self-sufficiency --------------------------------------
+# --- Stage 6: header self-sufficiency --------------------------------------
 # cmake/HeaderSelfCheck.cmake generates one `#include "<header>"` TU per
 # public header; compiling the target proves every header stands alone
 # under -Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast.
@@ -153,14 +169,14 @@ if [[ "${WHEELS_CI_HEADERS:-1}" == 1 ]]; then
     || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 6: warnings-as-errors build -------------------------------------
+# --- Stage 7: warnings-as-errors build -------------------------------------
 if [[ "${WHEELS_CI_WERROR:-1}" == 1 ]]; then
   banner "werror build (-Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast)"
   cmake --preset werror >/dev/null
   cmake --build --preset werror -j "$JOBS" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 7: sanitizer-clean test suite -----------------------------------
+# --- Stage 8: sanitizer-clean test suite -----------------------------------
 if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
   banner "asan-ubsan build + ctest"
   cmake --preset asan-ubsan >/dev/null
@@ -172,7 +188,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
     ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 8: tsan over the parallel campaign path --------------------------
+# --- Stage 9: tsan over the parallel campaign path --------------------------
 # The deterministic parallel engine's data-race gate: thread-pool unit
 # tests plus the jobs=1 == jobs=4 determinism proofs, all with
 # WHEELS_JOBS=4 (set by the tsan-parallel test preset) so every pool and
@@ -185,7 +201,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_TSAN:-1}" == 1 ]]; then
     ctest --preset tsan-parallel || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 9: clang-tidy (best effort: optional in the container) ----------
+# --- Stage 10: clang-tidy (best effort: optional in the container) ----------
 # Every preset exports CMAKE_EXPORT_COMPILE_COMMANDS, so clang-tidy reads
 # the exact flags the build used; the file list comes from the database
 # itself rather than an ad-hoc find.

@@ -1,0 +1,70 @@
+"""Shared SARIF 2.1.0 emitter for the wheels static-analysis tools.
+
+wheels_lint.py, wheels_arch.py and wheels_contract.py each expose
+--format=sarif through this module so CI systems that ingest SARIF
+(GitHub code scanning, VS Code SARIF viewers) see one consistent shape:
+one run per tool invocation, one reporting descriptor per rule that can
+fire, one result per finding with a file/line location.
+
+The emitter is deliberately lossless with respect to the tools' native
+JSON format ({"tool", "files_scanned", "findings": [...]}): every
+finding maps 1:1 onto a SARIF result (ruleId, message.text, uri,
+startLine), which is what the per-tool round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+
+def findings_to_sarif(tool_name: str, rules: dict[str, str],
+                      findings: list) -> dict:
+    """Build the SARIF document for one tool run.
+
+    `rules` maps every rule id the tool can report to its one-line
+    description (only rules that actually fired are emitted as reporting
+    descriptors, keeping the document small and deterministic). Each
+    finding needs `.rule`, `.path`, `.line`, `.message` attributes --
+    the Finding dataclass all three tools share structurally.
+    """
+    fired = sorted({f.rule for f in findings})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "rules": [{
+                        "id": rule,
+                        "shortDescription": {
+                            "text": rules.get(rule, rule),
+                        },
+                    } for rule in fired],
+                },
+            },
+            "results": [{
+                "ruleId": f.rule,
+                "level": "error",
+                "message": {"text": f.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {"startLine": f.line},
+                    },
+                }],
+            } for f in findings],
+        }],
+    }
+
+
+def render_sarif(tool_name: str, rules: dict[str, str],
+                 findings: list) -> str:
+    return json.dumps(
+        findings_to_sarif(tool_name, rules, findings),
+        indent=2,
+        sort_keys=True)

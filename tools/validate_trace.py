@@ -13,9 +13,14 @@ Checks, in order:
   * each --require-span PREFIX (repeatable) matches at least one event
     name, so CI can assert the instrumentation actually covered the
     phases it claims to (record, per-operator replay, baseline fan-out,
-    dataset cache operations).
+    dataset cache operations). --contracts REGISTRY.json loads the
+    `required_span_prefixes` list from the contract registry
+    (tools/contracts.json) instead of, or in addition to, spelling each
+    prefix on the command line -- CI uses this so the prefixes the trace
+    gate requires are the ones wheels_contract.py pins to the code.
 
 Usage: tools/validate_trace.py TRACE.json [--require-span PREFIX]...
+                                          [--contracts REGISTRY.json]
 
 Exits 0 when the trace is valid, 1 when any check fails, 2 on usage
 errors.
@@ -45,7 +50,29 @@ def main(argv: list[str]) -> int:
         metavar="PREFIX",
         help="require at least one span whose name starts with PREFIX "
         "(repeatable)")
+    parser.add_argument(
+        "--contracts",
+        metavar="REGISTRY",
+        help="also require every prefix in REGISTRY's "
+        "required_span_prefixes list (tools/contracts.json)")
     args = parser.parse_args(argv)
+
+    if args.contracts:
+        try:
+            with open(args.contracts, encoding="utf-8") as f:
+                registry = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"validate-trace: cannot load contract registry "
+                  f"{args.contracts}: {e}", file=sys.stderr)
+            return 2
+        prefixes = registry.get("required_span_prefixes")
+        if not isinstance(prefixes, list) or not all(
+                isinstance(p, str) for p in prefixes):
+            print(f"validate-trace: {args.contracts} has no "
+                  "required_span_prefixes string list", file=sys.stderr)
+            return 2
+        args.require_span.extend(
+            p for p in prefixes if p not in args.require_span)
 
     try:
         with open(args.trace, encoding="utf-8") as f:

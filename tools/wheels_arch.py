@@ -26,7 +26,8 @@ mechanically:
                     edges that are not a DAG.
 
 Usage:
-  tools/wheels_arch.py [--root DIR] [--manifest FILE] [--format text|json]
+  tools/wheels_arch.py [--root DIR] [--manifest FILE]
+                       [--format text|json|sarif]
   tools/wheels_arch.py --dot          # DOT module graph on stdout
 
 `--dot` writes a Graphviz digraph of the module-level include graph
@@ -45,6 +46,20 @@ import os
 import re
 import sys
 from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import sarif  # noqa: E402  (sibling module, shared with the other tools)
+
+RULES = {
+    "layer-violation":
+        "include edge between src/ modules that the layer manifest forbids",
+    "include-cycle":
+        "cycle in the file-level include graph",
+    "orphan-header":
+        "src/ header no non-test translation unit reaches",
+    "layer-manifest":
+        "tools/layers.json is broken or out of date",
+}
 
 SCAN_DIRS = ("src", "tools", "bench", "tests", "examples")
 CPP_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
@@ -356,7 +371,8 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--manifest", default=None,
                         help="layer manifest path (default: "
                         "<root>/tools/layers.json)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="findings output format (default: text)")
     parser.add_argument("--dot", action="store_true",
                         help="emit the DOT module graph and exit")
@@ -416,6 +432,8 @@ def main(argv: list[str]) -> int:
 
     if args.format == "json":
         print(findings_to_json(findings, len(files)))
+    elif args.format == "sarif":
+        print(sarif.render_sarif("wheels-arch", RULES, findings))
     else:
         for f in findings:
             print(f.render())

@@ -1,0 +1,838 @@
+#!/usr/bin/env python3
+"""wheels-contract: cross-artifact determinism-pin contract analyzer.
+
+The repo's core guarantee is bit-level determinism: the seed-42 stride-64
+campaign hits one golden FNV checksum, datasets carry one magic/schema
+pair, the `WHEELS_*` env surface is documented, and the obs span names CI
+validates are the ones the code emits. Those pins used to live as loose
+literals scattered across tests, tools, benches, docs and the CI driver —
+exactly the drift surface that rots silently when a schema or golden is
+deliberately bumped. This tool makes tools/contracts.json the single
+source of truth and cross-checks every artifact against it, compile-free,
+in the style of wheels_lint.py / wheels_arch.py:
+
+  registry            tools/contracts.json itself is malformed: missing
+                      keys, no golden for the current schema version,
+                      bad checksum syntax, duplicate env var names.
+  schema-pin          src/dataset/serialize.h kSchemaVersion / kMagic
+                      disagree with the registry.
+  golden-pin          a golden-checksum literal (tests/, bench/, or a
+                      16-hex-digit literal in README/DESIGN/EXPERIMENTS)
+                      differs from the registry's checksum for the
+                      current schema version.
+  pins-stale          the generated tests/contract_pins.h is missing or
+                      out of sync with the registry (--fix-pins
+                      regenerates it).
+  env-undeclared      getenv/setenv of a WHEELS_* variable in C++, or a
+                      WHEELS_* reference in the CI driver, that the
+                      registry does not declare.
+  env-unused          a declared env var with no consumer in the artifact
+                      its kind names (runtime -> C++ getenv/setenv,
+                      ci -> tools/run_static_analysis.sh,
+                      cmake -> CMakeLists/CMakePresets/cmake/*.cmake).
+  doc-drift           a generated README table (determinism pins, env
+                      vars, CI gates) is missing or differs from the
+                      registry render (--fix-docs regenerates them).
+  cli-flag            wheels_campaign's parsed subcommands/flags and the
+                      registry's cli section disagree (either direction).
+  span-prefix         a registry metric/span prefix with no matching
+                      string literal in src/, or a metric registered in
+                      src/ whose name starts with no declared prefix.
+  ci-stage            a registry CI stage whose toggle is missing from
+                      the driver, whose --quick membership disagrees
+                      with the driver's QUICK guard, or a driver toggle
+                      the registry does not list.
+  ctest-registration  a tests/test_*.{cpp,py} file that is not wired
+                      into tests/CMakeLists.txt (a test that never runs
+                      is a pin that never pins).
+
+Usage:
+  tools/wheels_contract.py [--root DIR] [--format text|json|sarif]
+                           [--fix-docs] [--fix-pins] [--list-rules]
+
+With --format=json, stdout carries the same single-object schema as the
+other tools ({"tool", "files_scanned", "findings": [{rule, path, line,
+message}]}); --format=sarif emits SARIF 2.1.0 via tools/sarif.py.
+
+Exits 0 when clean, 1 when any finding fires, 2 on usage/registry-read
+errors. --fix-docs / --fix-pins rewrite the derived artifacts from the
+registry and exit 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import sarif  # noqa: E402  (sibling module, shared with the other tools)
+
+REGISTRY_REL = "tools/contracts.json"
+SERIALIZE_REL = "src/dataset/serialize.h"
+DRIVER_REL = "tools/run_static_analysis.sh"
+TESTS_DIR_REL = "tests"
+TESTS_CMAKE_REL = "tests/CMakeLists.txt"
+README_REL = "README.md"
+DOC_SCAN = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+CPP_SCAN_DIRS = ("src", "tools", "bench", "examples", "tests")
+CPP_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
+# Fixture miniature repos are independent trees checked by their own
+# tests; never mix their pins into the real cross-check.
+SKIP_DIR_PARTS = ("lint_fixtures", "fixtures")
+
+# No \b: a C++ suffix (0x...ULL) would suppress the boundary. Any run of
+# exactly 16 hex digits counts; the lookahead rejects longer literals.
+HEX64_RE = re.compile(r"0[xX][0-9a-fA-F]{16}(?![0-9a-fA-F])")
+ENV_CALL_RE = re.compile(r"\b(?:getenv|setenv)\s*\(\s*\"(WHEELS_[A-Z0-9_]+)\"")
+SHELL_ENV_RE = re.compile(r"\b(WHEELS_[A-Z0-9_]+)\b")
+TOGGLE_RE = re.compile(r"\$\{(WHEELS_CI_[A-Z0-9_]+):-1\}")
+METRIC_REG_RE = re.compile(
+    r"\.(?:counter|gauge|histogram)\s*\(\s*\"([^\"]+)\"", re.S)
+SCHEMA_RE = re.compile(r"\bkSchemaVersion\s*=\s*(\d+)")
+MAGIC_RE = re.compile(r"\bkMagic\s*=\s*\"([^\"]*)\"")
+CLI_SUBCOMMAND_RE = re.compile(r"command\s*==\s*\"([a-z][a-z0-9-]*)\"")
+CLI_FLAG_RE = re.compile(r"\barg\s*==\s*\"(-{1,2}[a-z][a-z-]*|-h)\"")
+GOLDEN_CONTEXT_RE = re.compile(r"[Gg]olden")
+
+RULES = {
+    "registry":
+        "tools/contracts.json is malformed or internally inconsistent",
+    "schema-pin":
+        "src/dataset/serialize.h schema version / magic disagree with the "
+        "registry",
+    "golden-pin":
+        "a golden checksum literal (code or docs) differs from the registry",
+    "pins-stale":
+        "generated tests/contract_pins.h missing or out of sync "
+        "(--fix-pins)",
+    "env-undeclared":
+        "WHEELS_* env var used in code/CI but not declared in the registry",
+    "env-unused":
+        "declared env var with no consumer in the artifact its kind names",
+    "doc-drift":
+        "generated README table missing or out of sync (--fix-docs)",
+    "cli-flag":
+        "wheels_campaign subcommands/flags disagree with the registry",
+    "span-prefix":
+        "metric/span name prefixes and src/ literals disagree",
+    "ci-stage":
+        "CI driver stages/toggles disagree with the registry",
+    "ctest-registration":
+        "tests/test_* file not registered in tests/CMakeLists.txt",
+}
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- small IO helpers --------------------------------------------------------
+
+
+def read_text(root: str, relpath: str) -> str | None:
+    try:
+        with open(os.path.join(root, relpath), encoding="utf-8",
+                  errors="replace") as f:
+            return f.read()
+    except OSError:
+        return None
+
+
+def gather_cpp_files(root: str) -> list[str]:
+    files = []
+    for scan in CPP_SCAN_DIRS:
+        base = os.path.join(root, scan)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [
+                d for d in dirnames
+                if d not in SKIP_DIR_PARTS and not d.startswith("build")
+            ]
+            for name in filenames:
+                if name.endswith(CPP_EXTENSIONS):
+                    full = os.path.join(dirpath, name)
+                    files.append(
+                        os.path.relpath(full, root).replace(os.sep, "/"))
+    return sorted(files)
+
+
+def registry_line(registry_text: str, needle: str) -> int:
+    """Line of the first occurrence of `needle` in the raw registry text,
+    so registry-side findings point at the offending entry."""
+    pos = registry_text.find(needle)
+    if pos == -1:
+        return 1
+    return registry_text.count("\n", 0, pos) + 1
+
+
+# --- registry ----------------------------------------------------------------
+
+
+CHECKSUM_RE = re.compile(r"^0x[0-9a-f]{16}$")
+ENV_KINDS = ("runtime", "ci", "cmake")
+
+
+def check_registry(reg: dict, reg_rel: str, reg_text: str) -> list[Finding]:
+    findings = []
+
+    def bad(needle: str, msg: str) -> None:
+        findings.append(
+            Finding(reg_rel, registry_line(reg_text, needle), "registry", msg))
+
+    version = reg.get("schema_version")
+    if not isinstance(version, int):
+        bad("schema_version", "schema_version must be an integer")
+    if not isinstance(reg.get("dataset_magic"), str) or \
+            not reg.get("dataset_magic"):
+        bad("dataset_magic", "dataset_magic must be a non-empty string")
+    goldens = reg.get("golden_checksums")
+    if not isinstance(goldens, dict):
+        bad("golden_checksums", "golden_checksums must be an object keyed "
+            "by schema version")
+        goldens = {}
+    if isinstance(version, int) and str(version) not in goldens:
+        bad("golden_checksums",
+            f"no golden checksum registered for the current schema version "
+            f"{version}; a schema bump must re-pin the golden in the same "
+            "edit")
+    for ver, entry in sorted(goldens.items()):
+        checksum = entry.get("checksum") if isinstance(entry, dict) else None
+        if not isinstance(checksum, str) or not CHECKSUM_RE.match(checksum):
+            bad(f'"{ver}"',
+                f"golden for schema version {ver} needs a checksum of the "
+                "form 0x<16 lowercase hex digits>")
+    seen: set[str] = set()
+    for var in reg.get("env_vars", []):
+        name = var.get("name", "") if isinstance(var, dict) else ""
+        if not name.startswith("WHEELS_"):
+            bad("env_vars", f"env var {name!r} must start with WHEELS_")
+            continue
+        if name in seen:
+            bad(f'"name": "{name}"', f"env var {name} declared twice")
+        seen.add(name)
+        if var.get("kind") not in ENV_KINDS:
+            bad(f'"name": "{name}"',
+                f"env var {name} has kind {var.get('kind')!r}; expected one "
+                f"of {', '.join(ENV_KINDS)}")
+    return findings
+
+
+def current_golden(reg: dict) -> dict | None:
+    entry = reg.get("golden_checksums", {}).get(str(reg.get("schema_version")))
+    return entry if isinstance(entry, dict) else None
+
+
+# --- generated artifacts: pins header + README tables ------------------------
+
+
+def render_pins_header(reg: dict) -> str:
+    golden = current_golden(reg) or {}
+    checksum = golden.get("checksum", "0x0")
+    return f"""\
+// GENERATED FILE -- do not edit by hand.
+//
+// Single-source determinism pins, rendered from tools/contracts.json by
+// `tools/wheels_contract.py --fix-pins`. The wheels-contract analyzer
+// (pins-stale rule) fails CI whenever this header and the registry
+// disagree, so a deliberate golden/schema bump is a one-line registry
+// edit plus a regeneration -- never a hunt for scattered literals.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wheels::contract {{
+
+// Dataset container format (src/dataset/serialize.h must agree; the
+// schema-pin rule cross-checks).
+inline constexpr std::uint32_t kSchemaVersion = {reg.get("schema_version")};
+inline constexpr std::string_view kDatasetMagic = "{reg.get("dataset_magic")}";
+
+// The golden campaign: FNV-1a checksum of encode(CampaignResult) for
+// this seed/stride pair, pinning every stochastic process in the
+// pipeline. Regenerate deliberately via the registry, never by editing
+// this file.
+inline constexpr std::uint64_t kGoldenSeed = {golden.get("seed", 0)};
+inline constexpr int kGoldenStride = {golden.get("stride", 0)};
+inline constexpr std::uint64_t kGoldenCampaignChecksum =
+    {checksum}ULL;
+
+}}  // namespace wheels::contract
+"""
+
+
+def table_marker(name: str, which: str) -> str:
+    return f"<!-- contract:{name}:{which} -->"
+
+
+def render_pins_table(reg: dict) -> list[str]:
+    golden = current_golden(reg) or {}
+    return [
+        "| Pin | Value |",
+        "|---|---|",
+        f"| dataset magic | `{reg.get('dataset_magic')}` |",
+        f"| dataset schema version | `{reg.get('schema_version')}` |",
+        f"| golden campaign checksum (seed {golden.get('seed')}, "
+        f"stride {golden.get('stride')}) | `{golden.get('checksum')}` |",
+    ]
+
+
+def render_env_table(reg: dict) -> list[str]:
+    lines = ["| Variable | Effect |", "|---|---|"]
+    for var in reg.get("env_vars", []):
+        if var.get("kind") != "runtime":
+            continue
+        lines.append(f"| `{var.get('usage', var['name'])}` | {var['doc']} |")
+    return lines
+
+
+def render_gates_table(reg: dict) -> list[str]:
+    lines = ["| Stage | Toggle | In `--quick` |", "|---|---|---|"]
+    for stage in reg.get("ci_stages", []):
+        quick = "yes" if stage.get("quick") else "no"
+        lines.append(
+            f"| {stage['name']} | `{stage['toggle']}=0` | {quick} |")
+    return lines
+
+
+TABLE_RENDERERS = {
+    "contract-pins-table": render_pins_table,
+    "contract-env-table": render_env_table,
+    "contract-gates-table": render_gates_table,
+}
+
+
+def check_pins_stale(root: str, reg: dict) -> list[Finding]:
+    pins_rel = reg.get("generated", {}).get("pins_header")
+    if not pins_rel:
+        return []
+    expected = render_pins_header(reg)
+    actual = read_text(root, pins_rel)
+    if actual is None:
+        return [
+            Finding(
+                pins_rel, 1, "pins-stale",
+                "generated pins header is missing; run "
+                "tools/wheels_contract.py --fix-pins")
+        ]
+    if actual != expected:
+        return [
+            Finding(
+                pins_rel, 1, "pins-stale",
+                "generated pins header does not match tools/contracts.json; "
+                "run tools/wheels_contract.py --fix-pins (never edit the "
+                "header by hand)")
+        ]
+    return []
+
+
+def check_doc_tables(root: str, reg: dict) -> list[Finding]:
+    tables = reg.get("generated", {}).get("readme_tables", [])
+    if not tables:
+        return []
+    text = read_text(root, README_REL)
+    if text is None:
+        return [
+            Finding(README_REL, 1, "doc-drift",
+                    "README.md is missing but the registry declares "
+                    "generated tables for it")
+        ]
+    findings = []
+    lines = text.splitlines()
+    for name in tables:
+        begin, end = table_marker(name, "begin"), table_marker(name, "end")
+        try:
+            b = lines.index(begin)
+            e = lines.index(end)
+        except ValueError:
+            findings.append(
+                Finding(
+                    README_REL, 1, "doc-drift",
+                    f"README.md lacks the generated table markers for "
+                    f"{name} ({begin} ... {end}); run "
+                    "tools/wheels_contract.py --fix-docs"))
+            continue
+        actual = [ln for ln in lines[b + 1:e] if ln.strip()]
+        expected = TABLE_RENDERERS[name](reg)
+        if actual != expected:
+            findings.append(
+                Finding(
+                    README_REL, b + 1, "doc-drift",
+                    f"generated table {name} is out of sync with "
+                    "tools/contracts.json; run tools/wheels_contract.py "
+                    "--fix-docs (edit the registry, not the table)"))
+    return findings
+
+
+def fix_docs(root: str, reg: dict) -> list[str]:
+    """Rewrite every registered generated table between its markers.
+    Returns the names actually rewritten; missing marker pairs are left
+    for the caller to report."""
+    tables = reg.get("generated", {}).get("readme_tables", [])
+    text = read_text(root, README_REL)
+    if text is None or not tables:
+        return []
+    lines = text.splitlines()
+    fixed = []
+    for name in tables:
+        begin, end = table_marker(name, "begin"), table_marker(name, "end")
+        try:
+            b = lines.index(begin)
+            e = lines.index(end)
+        except ValueError:
+            continue
+        lines[b + 1:e] = TABLE_RENDERERS[name](reg)
+        fixed.append(name)
+    with open(os.path.join(root, README_REL), "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+    return fixed
+
+
+# --- pin checks over code and docs -------------------------------------------
+
+
+def check_schema_pin(root: str, reg: dict) -> list[Finding]:
+    text = read_text(root, SERIALIZE_REL)
+    if text is None:
+        return []
+    findings = []
+    m = SCHEMA_RE.search(text)
+    if m and int(m.group(1)) != reg.get("schema_version"):
+        findings.append(
+            Finding(
+                SERIALIZE_REL, text.count("\n", 0, m.start()) + 1,
+                "schema-pin",
+                f"kSchemaVersion = {m.group(1)} but tools/contracts.json "
+                f"pins schema_version {reg.get('schema_version')}; bump the "
+                "registry (and its golden) in the same change"))
+    m = MAGIC_RE.search(text)
+    if m and m.group(1) != reg.get("dataset_magic"):
+        findings.append(
+            Finding(
+                SERIALIZE_REL, text.count("\n", 0, m.start()) + 1,
+                "schema-pin",
+                f'kMagic = "{m.group(1)}" but tools/contracts.json pins '
+                f'dataset_magic "{reg.get("dataset_magic")}"'))
+    return findings
+
+
+def check_golden_pin(root: str, reg: dict,
+                     cpp_files: list[str]) -> list[Finding]:
+    golden = current_golden(reg)
+    if golden is None:
+        return []
+    pin = golden.get("checksum", "")
+    findings = []
+    # Code: any line in tests/ or bench/ that names a golden and carries a
+    # 64-bit hex literal must carry *the* golden. (After the contract_pins
+    # refactor the only such line is the generated header itself.)
+    for relpath in cpp_files:
+        if not relpath.startswith(("tests/", "bench/")):
+            continue
+        text = read_text(root, relpath) or ""
+        for idx, line in enumerate(text.splitlines(), start=1):
+            if not GOLDEN_CONTEXT_RE.search(line):
+                continue
+            for m in HEX64_RE.finditer(line):
+                if m.group(0).lower() != pin:
+                    findings.append(
+                        Finding(
+                            relpath, idx, "golden-pin",
+                            f"golden checksum literal {m.group(0)} differs "
+                            f"from the registry pin {pin} for schema "
+                            f"version {reg.get('schema_version')}; read it "
+                            "from tests/contract_pins.h instead of "
+                            "re-spelling the literal"))
+    # Docs: every 64-bit hex literal in the living documents is, by
+    # convention, the golden; history files (ROADMAP/CHANGES/ISSUE) are
+    # deliberately out of scope.
+    for doc in DOC_SCAN:
+        text = read_text(root, doc)
+        if text is None:
+            continue
+        for idx, line in enumerate(text.splitlines(), start=1):
+            for m in HEX64_RE.finditer(line):
+                if m.group(0).lower() != pin:
+                    findings.append(
+                        Finding(
+                            doc, idx, "golden-pin",
+                            f"documented checksum {m.group(0)} differs from "
+                            f"the registry pin {pin}; regenerate the doc "
+                            "tables (--fix-docs) or fix the registry"))
+    return findings
+
+
+# --- env-var surface ---------------------------------------------------------
+
+
+def check_env(root: str, reg: dict, reg_text: str,
+              cpp_files: list[str]) -> list[Finding]:
+    declared = {
+        v["name"]: v
+        for v in reg.get("env_vars", [])
+        if isinstance(v, dict) and "name" in v
+    }
+    findings = []
+    cpp_uses: set[str] = set()
+    for relpath in cpp_files:
+        text = read_text(root, relpath) or ""
+        for idx, line in enumerate(text.splitlines(), start=1):
+            for m in ENV_CALL_RE.finditer(line):
+                cpp_uses.add(m.group(1))
+                if m.group(1) not in declared:
+                    findings.append(
+                        Finding(
+                            relpath, idx, "env-undeclared",
+                            f"{m.group(1)} is read here but not declared in "
+                            "tools/contracts.json; every WHEELS_* knob must "
+                            "be registered (and documented) before use"))
+    driver_text = read_text(root, DRIVER_REL)
+    driver_uses: set[str] = set()
+    if driver_text is not None:
+        for idx, line in enumerate(driver_text.splitlines(), start=1):
+            for m in SHELL_ENV_RE.finditer(line):
+                driver_uses.add(m.group(1))
+                if m.group(1) not in declared:
+                    findings.append(
+                        Finding(
+                            DRIVER_REL, idx, "env-undeclared",
+                            f"{m.group(1)} appears in the CI driver but is "
+                            "not declared in tools/contracts.json"))
+    cmake_text = ""
+    for rel in ("CMakeLists.txt", "CMakePresets.json"):
+        cmake_text += read_text(root, rel) or ""
+    cmake_dir = os.path.join(root, "cmake")
+    if os.path.isdir(cmake_dir):
+        for name in sorted(os.listdir(cmake_dir)):
+            if name.endswith(".cmake"):
+                cmake_text += read_text(root, f"cmake/{name}") or ""
+
+    for name, var in sorted(declared.items()):
+        kind = var.get("kind")
+        line = registry_line(reg_text, f'"name": "{name}"')
+        if kind == "runtime" and name not in cpp_uses:
+            findings.append(
+                Finding(
+                    REGISTRY_REL, line, "env-unused",
+                    f"runtime env var {name} is declared but no C++ source "
+                    "reads it (getenv/setenv); delete the entry or wire the "
+                    "knob up"))
+        elif kind == "ci" and driver_text is not None and \
+                name not in driver_uses:
+            findings.append(
+                Finding(
+                    REGISTRY_REL, line, "env-unused",
+                    f"ci env var {name} is declared but "
+                    f"{DRIVER_REL} never references it"))
+        elif kind == "cmake" and cmake_text and name not in cmake_text:
+            findings.append(
+                Finding(
+                    REGISTRY_REL, line, "env-unused",
+                    f"cmake option {name} is declared but no CMake file "
+                    "references it"))
+    return findings
+
+
+# --- CLI flag surface --------------------------------------------------------
+
+
+def check_cli(root: str, reg: dict, reg_text: str) -> list[Finding]:
+    cli = reg.get("cli")
+    if not isinstance(cli, dict):
+        return []
+    source_rel = cli.get("source", "")
+    text = read_text(root, source_rel)
+    if text is None:
+        return [
+            Finding(
+                REGISTRY_REL, registry_line(reg_text, '"cli"'), "cli-flag",
+                f"registry cli.source {source_rel!r} does not exist")
+        ]
+    findings = []
+    code_subs: dict[str, int] = {}
+    code_flags: dict[str, int] = {}
+    for idx, line in enumerate(text.splitlines(), start=1):
+        for m in CLI_SUBCOMMAND_RE.finditer(line):
+            code_subs.setdefault(m.group(1), idx)
+        for m in CLI_FLAG_RE.finditer(line):
+            code_flags.setdefault(m.group(1), idx)
+    reg_subs = set(cli.get("subcommands", []))
+    reg_flags = set(cli.get("flags", []))
+    for sub, idx in sorted(code_subs.items()):
+        if sub not in reg_subs:
+            findings.append(
+                Finding(
+                    source_rel, idx, "cli-flag",
+                    f"subcommand '{sub}' is parsed here but missing from "
+                    "the registry cli.subcommands list"))
+    for sub in sorted(reg_subs - set(code_subs)):
+        findings.append(
+            Finding(
+                REGISTRY_REL, registry_line(reg_text, f'"{sub}"'), "cli-flag",
+                f"registry declares subcommand '{sub}' but {source_rel} "
+                "never dispatches it"))
+    for flag, idx in sorted(code_flags.items()):
+        if flag not in reg_flags:
+            findings.append(
+                Finding(
+                    source_rel, idx, "cli-flag",
+                    f"flag '{flag}' is parsed here but missing from the "
+                    "registry cli.flags list"))
+    for flag in sorted(reg_flags - set(code_flags)):
+        findings.append(
+            Finding(
+                REGISTRY_REL, registry_line(reg_text, f'"{flag}"'),
+                "cli-flag",
+                f"registry declares flag '{flag}' but {source_rel} never "
+                "parses it"))
+    return findings
+
+
+# --- obs metric/span names ---------------------------------------------------
+
+
+def check_spans(root: str, reg: dict, reg_text: str,
+                cpp_files: list[str]) -> list[Finding]:
+    metric_prefixes = reg.get("metric_prefixes", [])
+    span_prefixes = reg.get("required_span_prefixes", [])
+    if not metric_prefixes and not span_prefixes:
+        return []
+    src_files = [f for f in cpp_files if f.startswith("src/")]
+    texts = {f: read_text(root, f) or "" for f in src_files}
+    findings = []
+    # Direction 1: every declared prefix must still exist as a literal in
+    # src/ -- a rename that forgets the registry is caught here, a rename
+    # that forgets the code is caught by CI's live trace validation.
+    for prefix in list(metric_prefixes) + list(span_prefixes):
+        needle = f'"{prefix}'
+        if not any(needle in t for t in texts.values()):
+            findings.append(
+                Finding(
+                    REGISTRY_REL, registry_line(reg_text, f'"{prefix}"'),
+                    "span-prefix",
+                    f"no string literal in src/ starts with \"{prefix}\"; "
+                    "the registry prefix no longer matches the code"))
+    # Direction 2: every metric registered in src/ must fall under a
+    # declared prefix, so new instrumentation shows up in the registry.
+    for relpath, text in sorted(texts.items()):
+        for m in METRIC_REG_RE.finditer(text):
+            name = m.group(1)
+            if metric_prefixes and not any(
+                    name.startswith(p) for p in metric_prefixes):
+                findings.append(
+                    Finding(
+                        relpath, text.count("\n", 0, m.start()) + 1,
+                        "span-prefix",
+                        f"metric \"{name}\" is registered here but starts "
+                        "with no metric_prefixes entry in "
+                        "tools/contracts.json"))
+    return findings
+
+
+# --- CI driver stages --------------------------------------------------------
+
+
+def check_ci_stages(root: str, reg: dict, reg_text: str) -> list[Finding]:
+    stages = reg.get("ci_stages", [])
+    text = read_text(root, DRIVER_REL)
+    if text is None or not stages:
+        return []
+    findings = []
+    toggle_lines: dict[str, tuple[int, str]] = {}
+    for idx, line in enumerate(text.splitlines(), start=1):
+        for m in TOGGLE_RE.finditer(line):
+            toggle_lines.setdefault(m.group(1), (idx, line))
+    declared_toggles = {s.get("toggle") for s in stages}
+    for stage in stages:
+        toggle = stage.get("toggle", "")
+        if toggle not in toggle_lines:
+            findings.append(
+                Finding(
+                    REGISTRY_REL, registry_line(reg_text, f'"{toggle}"'),
+                    "ci-stage",
+                    f"registry stage '{stage.get('name')}' names toggle "
+                    f"{toggle} but {DRIVER_REL} has no "
+                    f"${{{toggle}:-1}} gate"))
+            continue
+        idx, line = toggle_lines[toggle]
+        guarded = '"$QUICK" == 0' in line
+        if stage.get("quick") and guarded:
+            findings.append(
+                Finding(
+                    DRIVER_REL, idx, "ci-stage",
+                    f"stage '{stage.get('name')}' is skipped under --quick "
+                    "here but the registry declares quick: true"))
+        elif not stage.get("quick") and not guarded:
+            findings.append(
+                Finding(
+                    DRIVER_REL, idx, "ci-stage",
+                    f"stage '{stage.get('name')}' runs under --quick here "
+                    "but the registry declares quick: false"))
+    for toggle, (idx, _) in sorted(toggle_lines.items()):
+        if toggle not in declared_toggles:
+            findings.append(
+                Finding(
+                    DRIVER_REL, idx, "ci-stage",
+                    f"driver gates a stage on {toggle} that no registry "
+                    "ci_stages entry declares"))
+    return findings
+
+
+# --- ctest registration ------------------------------------------------------
+
+
+def check_ctest_registration(root: str) -> list[Finding]:
+    tests_dir = os.path.join(root, TESTS_DIR_REL)
+    cmake_text = read_text(root, TESTS_CMAKE_REL)
+    if not os.path.isdir(tests_dir) or cmake_text is None:
+        return []
+    findings = []
+    for name in sorted(os.listdir(tests_dir)):
+        if not name.startswith("test_"):
+            continue
+        if not name.endswith((".cpp", ".cc", ".py")):
+            continue
+        if name not in cmake_text:
+            findings.append(
+                Finding(
+                    f"{TESTS_DIR_REL}/{name}", 1, "ctest-registration",
+                    f"{name} is not referenced by {TESTS_CMAKE_REL}; a test "
+                    "that ctest never runs enforces nothing -- register it "
+                    "or delete it"))
+    return findings
+
+
+# --- driver ------------------------------------------------------------------
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root to analyze (default: repo "
+                        "containing this script)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="findings output format (default: text)")
+    parser.add_argument("--fix-docs", action="store_true",
+                        help="regenerate the README tables from the "
+                        "registry and exit")
+    parser.add_argument("--fix-pins", action="store_true",
+                        help="regenerate the pins header from the registry "
+                        "and exit")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:20s} {desc}")
+        return 0
+
+    root = os.path.abspath(
+        args.root
+        or os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+    reg_text = read_text(root, REGISTRY_REL)
+    if reg_text is None:
+        print(f"wheels-contract: cannot read {REGISTRY_REL} under {root}",
+              file=sys.stderr)
+        return 2
+    try:
+        reg = json.loads(reg_text)
+    except json.JSONDecodeError as exc:
+        print(f"wheels-contract: {REGISTRY_REL} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+
+    if args.fix_pins or args.fix_docs:
+        if args.fix_pins:
+            pins_rel = reg.get("generated", {}).get("pins_header")
+            if not pins_rel:
+                print("wheels-contract: registry declares no "
+                      "generated.pins_header", file=sys.stderr)
+                return 2
+            with open(os.path.join(root, pins_rel), "w",
+                      encoding="utf-8") as f:
+                f.write(render_pins_header(reg))
+            print(f"wheels-contract: wrote {pins_rel}")
+        if args.fix_docs:
+            fixed = fix_docs(root, reg)
+            for name in fixed:
+                print(f"wheels-contract: regenerated {name} in {README_REL}")
+            missing = [
+                t for t in reg.get("generated", {}).get("readme_tables", [])
+                if t not in fixed
+            ]
+            for name in missing:
+                print(f"wheels-contract: {README_REL} has no markers for "
+                      f"{name}; add {table_marker(name, 'begin')} / "
+                      f"{table_marker(name, 'end')} first", file=sys.stderr)
+            if missing:
+                return 2
+        return 0
+
+    cpp_files = gather_cpp_files(root)
+
+    findings = check_registry(reg, REGISTRY_REL, reg_text)
+    registry_broken = bool(findings)
+    if not registry_broken:
+        findings += check_schema_pin(root, reg)
+        findings += check_golden_pin(root, reg, cpp_files)
+        findings += check_pins_stale(root, reg)
+        findings += check_env(root, reg, reg_text, cpp_files)
+        findings += check_doc_tables(root, reg)
+        findings += check_cli(root, reg, reg_text)
+        findings += check_spans(root, reg, reg_text, cpp_files)
+        findings += check_ci_stages(root, reg, reg_text)
+        findings += check_ctest_registration(root)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    files_scanned = len(cpp_files) + sum(
+        1 for doc in DOC_SCAN if os.path.exists(os.path.join(root, doc)))
+
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "tool": "wheels-contract",
+                "files_scanned": files_scanned,
+                "findings": [
+                    {
+                        "rule": f.rule,
+                        "path": f.path,
+                        "line": f.line,
+                        "message": f.message,
+                    } for f in findings
+                ],
+            },
+            indent=2,
+            sort_keys=True))
+        return 1 if findings else 0
+    if args.format == "sarif":
+        print(sarif.render_sarif("wheels-contract", RULES, findings))
+        return 1 if findings else 0
+
+    for f in findings:
+        print(f.render())
+    if findings:
+        print(f"wheels-contract: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)")
+        return 1
+    print(f"wheels-contract: OK ({files_scanned} files cross-checked "
+          "against tools/contracts.json)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -46,6 +46,15 @@ enforces it mechanically:
                     layer manifest (tools/layers.json) keys on, so
                     wheels_arch.py could no longer attribute the edge to
                     a module; always spell the module name.
+  fp-reassoc        floating-point reassociation hazards in src/:
+                    std::reduce / std::transform_reduce (unspecified
+                    summation order), fast-math / float_control /
+                    FP_CONTRACT pragmas and attributes (contraction and
+                    reassociation licenses), and std::accumulate over an
+                    unordered container (hash-order summation). Addition
+                    of doubles is not associative; any of these moves the
+                    golden checksum between compilers, so the SIMD replay
+                    rework must keep reductions ordered.
   format            clang-format --dry-run check (skipped with a notice when
                     clang-format is not installed).
 
@@ -53,12 +62,14 @@ Suppress a finding by putting `// wheels-lint: allow(<rule>)` on the same
 line or the line directly above it.
 
 Usage:
-  tools/wheels_lint.py [--root DIR] [--no-format] [--format text|json]
-                       [--list-rules]
+  tools/wheels_lint.py [--root DIR] [--no-format]
+                       [--format text|json|sarif] [--list-rules]
 
 With --format=json, stdout carries a single JSON object
 ({"tool", "files_scanned", "findings": [{rule, path, line, message}]})
 so CI can diff gate output structurally; notices go to stderr.
+--format=sarif emits the same findings as SARIF 2.1.0 (tools/sarif.py)
+for code-scanning ingestion.
 
 Exits 0 when clean, 1 when any finding fires, 2 on usage errors.
 """
@@ -73,6 +84,9 @@ import shutil
 import subprocess
 import sys
 from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import sarif  # noqa: E402  (sibling module, shared with the other tools)
 
 SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
 CPP_EXTENSIONS = (".cpp", ".h", ".hpp", ".cc")
@@ -146,6 +160,10 @@ RULES = {
     "relative-include":
         "parent-relative #include \"../...\" in src/ (defeats the layer "
         "manifest)",
+    "fp-reassoc":
+        "floating-point reassociation hazard in src/ (std::reduce, "
+        "fast-math/FP_CONTRACT pragmas, accumulation over unordered "
+        "containers)",
     "format":
         "clang-format --dry-run reported a diff",
 }
@@ -270,18 +288,25 @@ def check_float_eq(relpath: str, lines: list[str]) -> list[Finding]:
     return findings
 
 
-def check_unordered_iter(relpath: str, lines: list[str]) -> list[Finding]:
-    # Names declared (anywhere in this file) with an unordered container
-    # type. Textual, not type-aware -- good enough for this codebase, and
-    # false positives can be suppressed inline.
+UNORDERED_NAME_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
+    r"[^;{}]*?>\s*&?\s*(\w+)\s*[;={(,)]")
+
+
+def collect_unordered_names(lines: list[str]) -> set[str]:
+    """Names declared (anywhere in this file) with an unordered container
+    type. Textual, not type-aware -- good enough for this codebase, and
+    false positives can be suppressed inline."""
     unordered_names: set[str] = set()
-    decl_after = re.compile(
-        r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<"
-        r"[^;{}]*?>\s*&?\s*(\w+)\s*[;={(,)]")
     for line in lines:
         if UNORDERED_DECL_RE.search(line):
-            for m in decl_after.finditer(line):
+            for m in UNORDERED_NAME_RE.finditer(line):
                 unordered_names.add(m.group(1))
+    return unordered_names
+
+
+def check_unordered_iter(relpath: str, lines: list[str]) -> list[Finding]:
+    unordered_names = collect_unordered_names(lines)
     findings = []
     for idx, line in enumerate(lines, start=1):
         m = RANGE_FOR_RE.search(line)
@@ -379,6 +404,57 @@ def check_steady_clock(relpath: str, lines: list[str]) -> list[Finding]:
                     "(src/obs/clock.h) instead so tests can swap the "
                     "timestamp source and timing stays out of simulation "
                     "output"))
+    return findings
+
+
+FP_REDUCE_RE = re.compile(r"\bstd\s*::\s*(transform_reduce|reduce)\b")
+# fast-math licenses live in pragmas, attributes and _Pragma strings, so
+# this scans the keep_strings variant of the text.
+FP_FASTMATH_RE = re.compile(
+    r"-ffast-math|\bfast-math\b|\bfast_math\b|"
+    r"#\s*pragma\s+float_control\b|\bfloat_control\s*\(|"
+    r"#\s*pragma\s+STDC\s+FP_CONTRACT\b|\bFP_CONTRACT\b")
+FP_ACCUM_RE = re.compile(
+    r"\bstd\s*::\s*accumulate\s*\(\s*([A-Za-z_]\w*)")
+
+
+def check_fp_reassoc(relpath: str, lines: list[str],
+                     lines_with_strings: list[str]) -> list[Finding]:
+    """Floating-point addition is not associative: any construct that lets
+    the compiler or library reassociate a reduction moves the golden
+    checksum between toolchains. src/ must keep every accumulation in a
+    specified order -- the guard rail the SIMD replay rework needs."""
+    if not relpath.startswith("src/"):
+        return []
+    findings = []
+    unordered_names = collect_unordered_names(lines)
+    for idx, line in enumerate(lines, start=1):
+        m = FP_REDUCE_RE.search(line)
+        if m:
+            findings.append(
+                Finding(
+                    relpath, idx, "fp-reassoc",
+                    f"std::{m.group(1)} reduces in unspecified order, so "
+                    "floating-point sums reassociate; use std::accumulate "
+                    "(or an explicit loop) over an ordered range"))
+        m = FP_ACCUM_RE.search(line)
+        if m and m.group(1) in unordered_names:
+            findings.append(
+                Finding(
+                    relpath, idx, "fp-reassoc",
+                    f"std::accumulate over unordered container "
+                    f"'{m.group(1)}': hash-order summation reassociates "
+                    "floating-point addition; accumulate over a sorted "
+                    "view instead"))
+    for idx, line in enumerate(lines_with_strings, start=1):
+        if FP_FASTMATH_RE.search(line):
+            findings.append(
+                Finding(
+                    relpath, idx, "fp-reassoc",
+                    "fast-math / FP contraction license: this permits the "
+                    "compiler to reassociate and contract floating-point "
+                    "math, breaking the bit-reproducibility the golden "
+                    "checksum pins"))
     return findings
 
 
@@ -551,6 +627,9 @@ def lint_file(path: str, root: str, module_dirs: set[str]) -> list[Finding]:
         relpath, strip_comments_and_strings(raw, keep_strings=True))
     findings += check_static_local(relpath, stripped)
     findings += check_steady_clock(relpath, lines)
+    findings += check_fp_reassoc(
+        relpath, lines,
+        strip_comments_and_strings(raw, keep_strings=True).splitlines())
     findings += check_pragma_once(relpath, stripped)
     findings += check_include_hygiene(relpath, stripped, module_dirs)
     findings += check_relative_include(relpath, stripped)
@@ -584,8 +663,8 @@ def main(argv: list[str]) -> int:
                         "this script)")
     parser.add_argument("--no-format", action="store_true",
                         help="skip the clang-format check")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        dest="output_format",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="output_format",
                         help="findings output format (default: text)")
     parser.add_argument("--list-rules", action="store_true")
     args = parser.parse_args(argv)
@@ -618,12 +697,16 @@ def main(argv: list[str]) -> int:
         fmt_findings, ran = check_format(root, files)
         findings += fmt_findings
         if not ran:
-            notice_out = sys.stderr if args.output_format == "json" \
+            notice_out = sys.stderr if args.output_format != "text" \
                 else sys.stdout
             print("wheels-lint: note: clang-format not available; "
                   "format check skipped", file=notice_out)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    if args.output_format == "sarif":
+        print(sarif.render_sarif("wheels-lint", RULES, findings))
+        return 1 if findings else 0
 
     if args.output_format == "json":
         print(json.dumps(

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "apps/accuracy.h"
+#include "ran/scenario_profiles.h"
 #include "trip/region.h"
 #include "trip/route.h"
 
@@ -37,29 +38,63 @@ void fill_offload(AppRunRecord& rec, const OffloadRunResult& r,
 
 }  // namespace
 
-AppCampaign::AppCampaign(AppCampaignConfig cfg) : cfg_(cfg) {}
+AppCampaignConfig AppCampaignConfig::from_scenario(
+    const scenario::ScenarioSpec& spec, int cycle_stride) {
+  scenario::validate(spec);
+  AppCampaignConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.cycle_stride = cycle_stride;
+  cfg.gap = Millis{spec.timing.gap_ms};
+  cfg.drive.hours_per_day = spec.drive.hours_per_day;
+  cfg.drive.start_hour_local = spec.drive.start_hour_local;
+  cfg.drive.speed =
+      trip::SpeedTargets{spec.speed.urban_mph, spec.speed.suburban_mph,
+                         spec.speed.rural_mph, spec.speed.max_mph};
+  cfg.spec = spec;
+  return cfg;
+}
+
+AppCampaign::AppCampaign(AppCampaignConfig cfg) : cfg_(std::move(cfg)) {
+  scenario::validate(cfg_.spec);
+}
 
 const AppCampaignResult& AppCampaign::run() {
   if (ran_) return result_;
   ran_ = true;
   AppCampaignResult& result = result_;
-  const trip::Route route = trip::Route::cross_country();
+  const trip::Route route = trip::Route::from_spec(cfg_.spec.route);
   Rng rng(cfg_.seed);
   const ran::Corridor corridor =
       trip::build_corridor(route, rng.fork("corridor"));
   const net::ServerSelector servers(edge_sites_from(route));
+  const ran::LoadRegime regime =
+      ran::regime_from_spec(cfg_.spec.load_regime);
+  const scenario::AppMixSpec& mix = cfg_.spec.apps;
+  // Skipped-cycle drive time: each enabled offload run is 20 s, video
+  // 180 s, gaming 60 s, one gap after every enabled run. The default mix
+  // evaluates to exactly the pre-scenario constant.
+  const double offload_runs =
+      (mix.ar ? 2.0 : 0.0) + (mix.cav ? 2.0 : 0.0);
+  const double gap_count = offload_runs + (mix.video ? 1.0 : 0.0) +
+                           (mix.gaming ? 1.0 : 0.0);
+  const Millis skip_len{offload_runs * 20'000.0 +
+                        (mix.video ? 180'000.0 : 0.0) +
+                        (mix.gaming ? 60'000.0 : 0.0) +
+                        gap_count * cfg_.gap.value};
 
   for (OperatorId op : ran::kAllOperators) {
     const auto oi = static_cast<std::size_t>(op);
-    const auto& profile = ran::operator_profile(op);
+    const scenario::OperatorSpec& ospec = cfg_.spec.operators[oi];
+    const ran::OperatorProfile profile = ran::profile_from_spec(ospec, op);
     const ran::Deployment dep = ran::Deployment::generate(
-        corridor, profile, rng.fork(to_string(op)));
+        corridor, profile, rng.fork(ospec.name));
     // Same trip seed for every operator: the phones share the car.
     trip::TripSimulator trip(route, corridor, rng.fork("trip"), cfg_.drive);
     ran::UeSimulator ue(corridor, dep, profile,
-                        rng.fork(to_string(op)).fork("app-ue"),
-                        ran::TrafficProfile::Interactive);
-    Rng app_rng = rng.fork(to_string(op)).fork("apps");
+                        rng.fork(ospec.name).fork("app-ue"),
+                        ran::TrafficProfile::Interactive, cfg_.spec.bands,
+                        regime);
+    Rng app_rng = rng.fork(ospec.name).fork("apps");
 
     LinkEnv env;
     env.step = [&](Millis dt) {
@@ -94,15 +129,16 @@ const AppCampaignResult& AppCampaign::run() {
     int cycle = 0;
     while (!trip.finished()) {
       if (cfg_.cycle_stride > 1 && (cycle % cfg_.cycle_stride) != 0) {
-        // 4x20s offload + 180s video + 60s gaming + 6 gaps.
-        gap(Millis{4.0 * 20'000.0 + 180'000.0 + 60'000.0 +
-                   6.0 * cfg_.gap.value});
+        gap(skip_len);
         ++cycle;
         continue;
       }
       ++cycle;
 
       for (const bool is_ar : {true, false}) {
+        // Fork indices derive from (cycle, is_ar, compression), so
+        // disabling a family never renumbers the remaining streams.
+        if (is_ar ? !mix.ar : !mix.cav) continue;
         for (const bool compression : {false, true}) {
           if (trip.finished()) break;
           auto rec = begin_record(is_ar ? AppKind::Ar : AppKind::Cav,
@@ -122,7 +158,7 @@ const AppCampaignResult& AppCampaign::run() {
       }
 
       if (trip.finished()) break;
-      {
+      if (mix.video) {
         auto rec = begin_record(AppKind::Video, false);
         const std::size_t ho_base = ue.handovers().size();
         const auto r = run_video(VideoConfig{}, env);
@@ -136,7 +172,7 @@ const AppCampaignResult& AppCampaign::run() {
       }
 
       if (trip.finished()) break;
-      {
+      if (mix.gaming) {
         auto rec = begin_record(AppKind::Gaming, false);
         const std::size_t ho_base = ue.handovers().size();
         const auto r =
@@ -156,15 +192,20 @@ const AppCampaignResult& AppCampaign::run() {
 
 std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
   std::vector<AppRunRecord> out;
-  const trip::Route route = trip::Route::cross_country();
+  const trip::Route route = trip::Route::from_spec(cfg_.spec.route);
   Rng rng(cfg_.seed);
   const ran::Corridor corridor =
       trip::build_corridor(route, rng.fork("corridor"));
   const net::ServerSelector servers(edge_sites_from(route));
-  const auto& profile = ran::operator_profile(op);
+  const ran::LoadRegime regime =
+      ran::regime_from_spec(cfg_.spec.load_regime);
+  const scenario::AppMixSpec& mix = cfg_.spec.apps;
+  const scenario::OperatorSpec& ospec =
+      cfg_.spec.operators[static_cast<std::size_t>(op)];
+  const ran::OperatorProfile profile = ran::profile_from_spec(ospec, op);
   const ran::Deployment dep =
-      ran::Deployment::generate(corridor, profile, rng.fork(to_string(op)));
-  Rng srng = rng.fork(to_string(op)).fork("static-apps");
+      ran::Deployment::generate(corridor, profile, rng.fork(ospec.name));
+  Rng srng = rng.fork(ospec.name).fork("static-apps");
 
   for (const auto& city : route.cities()) {
     // Nearest mmWave site in the urban core, else mid-band.
@@ -186,7 +227,8 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
     const TimeZone tz = corridor.at(pos).tz;
     const auto ep = servers.select(op, pos, tz);
     ran::UeSimulator ue(corridor, dep, profile, srng.fork(city.name),
-                        ran::TrafficProfile::Interactive);
+                        ran::TrafficProfile::Interactive, cfg_.spec.bands,
+                        regime);
     ue.set_favourable_conditions(true);
     CivilTime noon;
     noon.day = 1;
@@ -215,6 +257,7 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
 
     for (int rep = 0; rep < 3; ++rep) {
       for (const bool is_ar : {true, false}) {
+        if (is_ar ? !mix.ar : !mix.cav) continue;
         for (const bool compression : {false, true}) {
           auto rec = make_record(is_ar ? AppKind::Ar : AppKind::Cav,
                                  compression);
@@ -228,7 +271,7 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
           out.push_back(std::move(rec));
         }
       }
-      {
+      if (mix.video) {
         auto rec = make_record(AppKind::Video, false);
         const auto r = run_video(VideoConfig{}, env);
         rec.qoe = r.avg_qoe;
@@ -237,7 +280,7 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
         rec.frac_high_speed_5g = r.frac_high_speed_5g;
         out.push_back(std::move(rec));
       }
-      {
+      if (mix.gaming) {
         auto rec = make_record(AppKind::Gaming, false);
         const auto r = run_gaming(GamingConfig{}, env,
                                   srng.fork(city.name).fork(100 + rep));

@@ -17,6 +17,7 @@
 #include "core/rng.h"
 #include "net/server.h"
 #include "ran/operator_profile.h"
+#include "scenario/spec.h"
 #include "trip/trip_simulator.h"
 
 namespace wheels::apps {
@@ -70,6 +71,13 @@ struct AppCampaignConfig {
   int cycle_stride = 1;
   Millis gap{3'000.0};
   trip::DriveConfig drive{};
+  // The scenario this app campaign realizes: route, roster, band plan,
+  // load regime, and which app families run (spec.apps). The fields above
+  // are derived from it by from_scenario().
+  scenario::ScenarioSpec spec = scenario::paper_default();
+
+  static AppCampaignConfig from_scenario(const scenario::ScenarioSpec& spec,
+                                         int cycle_stride = 1);
 };
 
 struct AppCampaignResult {

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "scenario/spec.h"
+
 namespace wheels::dataset {
 namespace {
 
@@ -41,6 +43,9 @@ std::uint64_t hash_campaign(const trip::CampaignConfig& cfg, int stride) {
   h.i32(stride);
   h.f64(cfg.drive.hours_per_day);
   h.i32(cfg.drive.start_hour_local);
+  // Distinct scenarios (route, roster, bands, regime, app mix) must never
+  // share a cache slot even when the derived timing fields coincide.
+  h.u64(scenario::scenario_hash(cfg.spec));
   return h.value();
 }
 
@@ -52,6 +57,7 @@ std::uint64_t hash_apps(const apps::AppCampaignConfig& cfg, int stride) {
   h.f64(cfg.gap.value);
   h.f64(cfg.drive.hours_per_day);
   h.i32(cfg.drive.start_hour_local);
+  h.u64(scenario::scenario_hash(cfg.spec));
   return h.value();
 }
 

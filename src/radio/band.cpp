@@ -89,7 +89,13 @@ constexpr BandProfile kNrMmwave{
     .typical_range = Meters{250.0},
 };
 
+// Constant-initialized (no magic static): safe to read from any worker
+// thread without synchronization.
+constexpr BandPlan kUsPlan{{kLte, kLteA, kNrLow, kNrMid, kNrMmwave}};
+
 }  // namespace
+
+const BandPlan& default_band_plan() { return kUsPlan; }
 
 const BandProfile& band_profile(Tech t) {
   switch (t) {

@@ -1,6 +1,9 @@
 // Frequency bands and per-technology radio profiles.
 #pragma once
 
+#include <array>
+#include <cstddef>
+
 #include "core/units.h"
 #include "radio/technology.h"
 
@@ -25,7 +28,25 @@ struct BandProfile {
   Meters typical_range{2000.0};  // deployment inter-site distance scale
 };
 
-// Catalog lookup: the canonical profile for a technology.
+// A complete band plan: one profile per technology layer. Scenarios swap
+// plans wholesale (e.g. EU carriers/bandwidths) without recompiling; the
+// link-budget and PHY-rate functions below take the profile explicitly so
+// they never reach back into the US catalog.
+struct BandPlan {
+  std::array<BandProfile, 5> profiles{};  // indexed by Tech
+
+  [[nodiscard]] const BandProfile& profile(Tech t) const {
+    return profiles[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] BandProfile& profile(Tech t) {
+    return profiles[static_cast<std::size_t>(t)];
+  }
+};
+
+// The 2022-era US catalog the paper's campaign ran on.
+[[nodiscard]] const BandPlan& default_band_plan();
+
+// Catalog lookup: the canonical (default-plan) profile for a technology.
 [[nodiscard]] const BandProfile& band_profile(Tech t);
 
 // Thermal noise floor for a given bandwidth at ~9 dB UE noise figure:

@@ -20,24 +20,33 @@ constexpr Dbm kNoisePerRe{-174.0 + 41.76 + 9.0};  // ~ -123.2 dBm
 
 }  // namespace
 
-Dbm rsrp(Tech tech, Environment env, Meters distance, const ChannelState& ch) {
-  const BandProfile& p = band_profile(tech);
-  const Db pl = pathloss(tech, env, distance);
-  return per_re_power(p) + p.antenna_gain_dl - pl - ch.shadowing -
+Dbm rsrp(const BandProfile& band, Environment env, Meters distance,
+         const ChannelState& ch) {
+  const Db pl = pathloss(band, env, distance);
+  return per_re_power(band) + band.antenna_gain_dl - pl - ch.shadowing -
          ch.blockage_loss;
+}
+
+Dbm rsrp(Tech tech, Environment env, Meters distance, const ChannelState& ch) {
+  return rsrp(band_profile(tech), env, distance, ch);
+}
+
+Db sinr_downlink(const BandProfile& band, Environment env, Meters distance,
+                 const ChannelState& ch, Db interference_margin) {
+  // Per-RE SNR equals wideband SNR; interference margin subtracts directly.
+  const Dbm rx = rsrp(band, env, distance, ch) + ch.fast_fading;
+  return (rx - kNoisePerRe) - interference_margin;
 }
 
 Db sinr_downlink(Tech tech, Environment env, Meters distance,
                  const ChannelState& ch, Db interference_margin) {
-  // Per-RE SNR equals wideband SNR; interference margin subtracts directly.
-  const Dbm rx = rsrp(tech, env, distance, ch) + ch.fast_fading;
-  return (rx - kNoisePerRe) - interference_margin;
+  return sinr_downlink(band_profile(tech), env, distance, ch,
+                       interference_margin);
 }
 
-Db sinr_uplink(Tech tech, Environment env, Meters distance,
+Db sinr_uplink(const BandProfile& p, Environment env, Meters distance,
                const ChannelState& ch, Db interference_margin) {
-  const BandProfile& p = band_profile(tech);
-  const Db pl = pathloss(tech, env, distance);
+  const Db pl = pathloss(p, env, distance);
   // UE transmits with full power over its UL allocation; BS antenna gain
   // helps on receive. Model the allocation as 1/6 of the CC, which boosts
   // the per-Hz density ~9 dB -- uplink power control in disguise.
@@ -47,6 +56,12 @@ Db sinr_uplink(Tech tech, Environment env, Meters distance,
   const Dbm rx = per_re_tx + p.antenna_gain_dl - pl - ch.shadowing -
                  ch.blockage_loss + ch.fast_fading;
   return (rx - kNoisePerRe) - interference_margin;
+}
+
+Db sinr_uplink(Tech tech, Environment env, Meters distance,
+               const ChannelState& ch, Db interference_margin) {
+  return sinr_uplink(band_profile(tech), env, distance, ch,
+                     interference_margin);
 }
 
 }  // namespace wheels::radio

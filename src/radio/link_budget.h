@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/units.h"
+#include "radio/band.h"
 #include "radio/pathloss.h"
 #include "radio/technology.h"
 
@@ -17,18 +18,28 @@ struct ChannelState {
 // Reference Signal Received Power: per-resource-element received power.
 // RSRP = per-RE transmit power + antenna gain - pathloss - shadowing -
 // blockage. Fast fading is averaged out by the UE's RSRP filter, so it is
-// deliberately excluded here (it does enter SINR).
+// deliberately excluded here (it does enter SINR). The band-profile forms
+// are the primary ones (scenario band plans flow through them); the Tech
+// forms evaluate the default US plan.
+[[nodiscard]] Dbm rsrp(const BandProfile& band, Environment env,
+                       Meters distance, const ChannelState& ch);
 [[nodiscard]] Dbm rsrp(Tech tech, Environment env, Meters distance,
                        const ChannelState& ch);
 
 // Downlink SINR for data: wideband signal over noise + interference.
 // `interference_margin` folds in neighbour-cell load (from the RAN layer).
+[[nodiscard]] Db sinr_downlink(const BandProfile& band, Environment env,
+                               Meters distance, const ChannelState& ch,
+                               Db interference_margin);
 [[nodiscard]] Db sinr_downlink(Tech tech, Environment env, Meters distance,
                                const ChannelState& ch,
                                Db interference_margin);
 
 // Uplink SINR: limited by the UE's transmit power; interference at the BS
 // is milder (power control) so a smaller default margin applies.
+[[nodiscard]] Db sinr_uplink(const BandProfile& band, Environment env,
+                             Meters distance, const ChannelState& ch,
+                             Db interference_margin);
 [[nodiscard]] Db sinr_uplink(Tech tech, Environment env, Meters distance,
                              const ChannelState& ch, Db interference_margin);
 

@@ -52,12 +52,15 @@ double pathloss_exponent(Tech t, Environment env) {
   return 3.0;
 }
 
-Db pathloss(Tech t, Environment env, Meters distance) {
-  const MHz f = band_profile(t).carrier;
-  const Db pl0 = free_space_pathloss(Meters{kReferenceDistanceM}, f);
+Db pathloss(const BandProfile& band, Environment env, Meters distance) {
+  const Db pl0 = free_space_pathloss(Meters{kReferenceDistanceM}, band.carrier);
   const double dm = std::max(distance.value, kReferenceDistanceM);
-  const double n = pathloss_exponent(t, env);
+  const double n = pathloss_exponent(band.tech, env);
   return Db{pl0.value + 10.0 * n * std::log10(dm / kReferenceDistanceM)};
+}
+
+Db pathloss(Tech t, Environment env, Meters distance) {
+  return pathloss(band_profile(t), env, distance);
 }
 
 double shadowing_sigma_db(Tech t, Environment env) {

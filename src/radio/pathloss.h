@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/units.h"
+#include "radio/band.h"
 #include "radio/technology.h"
 
 namespace wheels::radio {
@@ -22,7 +23,12 @@ enum class Environment : std::uint8_t { Urban, Suburban, Rural };
 // line-of-sight but the effective exponent we use folds in light NLOS.
 [[nodiscard]] double pathloss_exponent(Tech t, Environment env);
 
-// Full distance-dependent path loss (excluding shadowing/fading).
+// Full distance-dependent path loss (excluding shadowing/fading). The
+// band-profile form is the primary one (the carrier frequency comes from
+// the profile, so scenario band plans propagate); the Tech form evaluates
+// the default US plan.
+[[nodiscard]] Db pathloss(const BandProfile& band, Environment env,
+                          Meters distance);
 [[nodiscard]] Db pathloss(Tech t, Environment env, Meters distance);
 
 // Log-normal shadowing standard deviation (dB) per technology/environment.

@@ -32,9 +32,8 @@ Mbps ue_peak_rate(Tech t, Direction d) {
   return Mbps{0.0};
 }
 
-PhyRateResult compute_phy_rate(Tech tech, Direction dir, Db sinr, int num_cc,
-                               double prb_fraction) {
-  const BandProfile& p = band_profile(tech);
+PhyRateResult compute_phy_rate(const BandProfile& p, Direction dir, Db sinr,
+                               int num_cc, double prb_fraction) {
   const bool dl = dir == Direction::Downlink;
   const int max_cc = dl ? p.max_cc_dl : p.max_cc_ul;
   num_cc = std::clamp(num_cc, 1, max_cc);
@@ -68,8 +67,13 @@ PhyRateResult compute_phy_rate(Tech tech, Direction dir, Db sinr, int num_cc,
     }
   }
   const Mbps uncapped{bits_per_second / 1e6 * prb_fraction};
-  out.rate = std::min(uncapped, ue_peak_rate(tech, dir));
+  out.rate = std::min(uncapped, ue_peak_rate(p.tech, dir));
   return out;
+}
+
+PhyRateResult compute_phy_rate(Tech tech, Direction dir, Db sinr, int num_cc,
+                               double prb_fraction) {
+  return compute_phy_rate(band_profile(tech), dir, sinr, num_cc, prb_fraction);
 }
 
 }  // namespace wheels::radio

@@ -31,6 +31,11 @@ struct PhyRateResult {
 //                    carriers are assumed slightly weaker (1.5 dB/CC step)
 //   prb_fraction  -- fraction of PRBs the scheduler grants this UE
 //                    (cell load model), in (0, 1]
+// The band-profile form is the primary one (scenario band plans flow
+// through it); the Tech form evaluates the default US plan.
+[[nodiscard]] PhyRateResult compute_phy_rate(const BandProfile& band,
+                                             Direction dir, Db sinr,
+                                             int num_cc, double prb_fraction);
 [[nodiscard]] PhyRateResult compute_phy_rate(Tech tech, Direction dir, Db sinr,
                                              int num_cc, double prb_fraction);
 

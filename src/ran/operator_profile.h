@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -140,5 +141,23 @@ struct OperatorProfile {
 
 // The calibrated profile for each of the three operators.
 [[nodiscard]] const OperatorProfile& operator_profile(OperatorId op);
+
+// Diurnal cell-load multipliers by quarter of the local day (night 00-06,
+// morning 06-12, afternoon 12-18, evening 18-24), applied to the
+// environment's mean load when a cell's load character is drawn. The
+// identity regime (all ones) is the paper's behavior and adds no work on
+// the draw path, keeping the golden checksum untouched.
+struct LoadRegime {
+  std::array<double, 4> by_quarter{1.0, 1.0, 1.0, 1.0};
+
+  [[nodiscard]] bool is_identity() const {
+    return by_quarter[0] == 1.0 && by_quarter[1] == 1.0 &&
+           by_quarter[2] == 1.0 && by_quarter[3] == 1.0;
+  }
+  // local_hour in [0, 23].
+  [[nodiscard]] double scale(int local_hour) const {
+    return by_quarter[static_cast<std::size_t>(local_hour / 6) & 3];
+  }
+};
 
 }  // namespace wheels::ran

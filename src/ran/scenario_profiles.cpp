@@ -1,0 +1,65 @@
+#include "ran/scenario_profiles.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wheels::ran {
+namespace {
+
+OperatorId calibration_id(const std::string& name) {
+  if (name == "verizon") return OperatorId::Verizon;
+  if (name == "tmobile") return OperatorId::TMobile;
+  if (name == "att") return OperatorId::ATT;
+  throw std::invalid_argument(
+      "scenario: unknown calibration \"" + name +
+      "\" (expected verizon/tmobile/att)");
+}
+
+void apply_override(double& field, double value) {
+  if (!std::isnan(value)) field = value;
+}
+
+}  // namespace
+
+OperatorProfile profile_from_spec(const scenario::OperatorSpec& spec,
+                                  OperatorId slot) {
+  OperatorProfile p = operator_profile(calibration_id(spec.calibration));
+  p.id = slot;
+
+  apply_override(p.policy.hs5g_given_dl, spec.promotion.hs5g_given_dl);
+  apply_override(p.policy.hs5g_given_ul, spec.promotion.hs5g_given_ul);
+  apply_override(p.policy.hs5g_given_interactive,
+                 spec.promotion.hs5g_given_interactive);
+  apply_override(p.policy.low5g_given_traffic,
+                 spec.promotion.low5g_given_traffic);
+  apply_override(p.policy.any5g_given_idle, spec.promotion.any5g_given_idle);
+
+  // Guarded so the default scale of exactly 1.0 leaves the calibrated
+  // profile bit-identical (no clamp can perturb it).
+  if (spec.availability_scale != 1.0) {
+    for (TechDeployment& d : p.deploy) {
+      d.avail_urban = std::clamp(d.avail_urban * spec.availability_scale,
+                                 0.0, 1.0);
+      d.avail_suburban = std::clamp(
+          d.avail_suburban * spec.availability_scale, 0.0, 1.0);
+      d.avail_rural = std::clamp(d.avail_rural * spec.availability_scale,
+                                 0.0, 1.0);
+    }
+  }
+  if (spec.load_scale != 1.0) {
+    p.load_urban = std::clamp(p.load_urban * spec.load_scale, 0.01, 0.95);
+    p.load_suburban = std::clamp(p.load_suburban * spec.load_scale,
+                                 0.01, 0.95);
+    p.load_rural = std::clamp(p.load_rural * spec.load_scale, 0.01, 0.95);
+  }
+  return p;
+}
+
+LoadRegime regime_from_spec(const scenario::LoadRegimeSpec& spec) {
+  LoadRegime r;
+  r.by_quarter = {spec.night, spec.morning, spec.afternoon, spec.evening};
+  return r;
+}
+
+}  // namespace wheels::ran

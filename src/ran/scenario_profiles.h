@@ -1,0 +1,23 @@
+// Adapters from declarative scenario specs to calibrated RAN profiles.
+//
+// A scenario names a calibration ("verizon"/"tmobile"/"att") per roster
+// slot and optionally overrides the promotion policy or scales coverage
+// and load. The adapters below start from the calibrated profile and apply
+// only the overrides that were actually specified, so the paper-default
+// roster reproduces operator_profile() bit-for-bit.
+#pragma once
+
+#include "ran/operator_profile.h"
+#include "scenario/spec.h"
+
+namespace wheels::ran {
+
+// Build the profile for one roster slot. `slot` fixes the OperatorId used
+// for result indexing (the roster order defines the slot order). Throws
+// std::invalid_argument for an unknown calibration name.
+[[nodiscard]] OperatorProfile profile_from_spec(
+    const scenario::OperatorSpec& spec, OperatorId slot);
+
+[[nodiscard]] LoadRegime regime_from_spec(const scenario::LoadRegimeSpec& spec);
+
+}  // namespace wheels::ran

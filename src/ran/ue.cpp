@@ -31,12 +31,15 @@ Millis base_air_latency(Tech t) {
 UeSimulator::UeSimulator(const Corridor& corridor,
                          const Deployment& deployment,
                          const OperatorProfile& profile, Rng rng,
-                         TrafficProfile traffic)
+                         TrafficProfile traffic, const radio::BandPlan& plan,
+                         LoadRegime regime)
     : corridor_(corridor),
       deployment_(deployment),
       profile_(profile),
       rng_(rng),
       traffic_(traffic),
+      plan_(plan),
+      regime_(regime),
       blockage_(rng.fork("blockage"), Tech::NR_MMWAVE),
       fading_sub6_(rng.fork("fading-sub6"), Tech::NR_MID),
       fading_mmwave_(rng.fork("fading-mmw"), Tech::NR_MMWAVE) {}
@@ -59,17 +62,24 @@ void UeSimulator::clear_history() {
   // seen_cells_ intentionally kept: Table 1 counts over the whole campaign.
 }
 
-double UeSimulator::draw_cell_load(Environment env) {
+double UeSimulator::draw_cell_load(Environment env, SimTime now, Meters pos) {
+  // Identity regimes skip the scaling entirely so the paper-default draw
+  // stays bit-identical (same arithmetic, same RNG consumption).
+  double target = target_load(env);
+  if (!regime_.is_identity()) {
+    const CivilTime civil = to_civil(now, corridor_.at(pos).tz);
+    target = std::clamp(target * regime_.scale(civil.hour), 0.0, 1.0);
+  }
   if (favourable_) {
     // Hand-picked static spot: moderately loaded downtown sector.
     return std::clamp(
-        target_load(env) * 0.9 + rng_.normal(0.0, 0.5 * profile_.load_sigma),
+        target * 0.9 + rng_.normal(0.0, 0.5 * profile_.load_sigma),
         0.03, 0.70);
   }
   // A third of the cells along an interstate are congested (sector
   // overload) -- the main source of the paper's heavy <5 Mbps tail.
   if (rng_.chance(0.40)) return rng_.uniform(0.82, 0.99);
-  return std::clamp(target_load(env) + rng_.normal(0.0, profile_.load_sigma),
+  return std::clamp(target + rng_.normal(0.0, profile_.load_sigma),
                     0.03, 0.98);
 }
 
@@ -89,7 +99,8 @@ Dbm UeSimulator::layer_rsrp(Tech tech, const Cell& cell, Meters pos,
   if (tech == Tech::NR_MMWAVE) {
     ch.shadowing = ch.shadowing + profile_.mmwave_beam_penalty;
   }
-  return radio::rsrp(tech, env, Deployment::distance_to(cell, pos), ch);
+  return radio::rsrp(plan_.profile(tech), env,
+                     Deployment::distance_to(cell, pos), ch);
 }
 
 void UeSimulator::update_candidates(Meters pos, Meters travelled) {
@@ -199,7 +210,7 @@ void UeSimulator::evaluate_policy(SimTime now, Meters pos, Mph speed) {
   }
 
   // Carrier-aggregation configuration is re-negotiated with the decision.
-  const radio::BandProfile& bp = radio::band_profile(pick);
+  const radio::BandProfile& bp = plan_.profile(pick);
   auto draw_cc = [&](int max_cc, double p_extra) {
     int cc = 1;
     for (int i = 1; i < max_cc; ++i) {
@@ -227,7 +238,7 @@ void UeSimulator::evaluate_policy(SimTime now, Meters pos, Mph speed) {
       connected_ = true;
       seen_cells_.push_back(pick_cell->id);
       const Environment env = corridor_.at(pos).env;
-      load_ = load_target_ = draw_cell_load(env);
+      load_ = load_target_ = draw_cell_load(env, now, pos);
     }
   }
   policy_initialized_ = true;
@@ -266,10 +277,10 @@ void UeSimulator::begin_handover(SimTime now, Meters pos, Tech to_tech,
   // network promotes UEs toward cells with spare capacity, so redraw once
   // if the first draw came up congested.
   const Environment env = corridor_.at(pos).env;
-  load_ = load_target_ = draw_cell_load(env);
+  load_ = load_target_ = draw_cell_load(env, now, pos);
   if (radio::is_5g(rec.to_tech) && !radio::is_5g(rec.from_tech) &&
       load_ > 0.8) {
-    load_ = load_target_ = draw_cell_load(env);
+    load_ = load_target_ = draw_cell_load(env, now, pos);
   }
 }
 
@@ -425,16 +436,17 @@ LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
   const double aging_db = std::min(9.0, 0.12 * speed.value);
   const Db margin_dl{2.0 + 22.0 * load_ + 9.0 * edge + aging_db};
   const Db margin_ul{1.0 + 7.0 * load_ + 5.0 * edge + aging_db};
-  s.sinr_dl = radio::sinr_downlink(tech, env, dist, ch, margin_dl);
-  s.sinr_ul = radio::sinr_uplink(tech, env, dist, ch, margin_ul);
+  const radio::BandProfile& band = plan_.profile(tech);
+  s.sinr_dl = radio::sinr_downlink(band, env, dist, ch, margin_dl);
+  s.sinr_ul = radio::sinr_uplink(band, env, dist, ch, margin_ul);
 
   // Downlink PRBs are contended by every user of the cell; the uplink is
   // typically emptier, so the backlogged UE keeps a larger share there.
   const double prb_dl = std::max(0.02, std::pow(1.0 - load_, 1.5));
   const double prb_ul = std::max(0.06, std::pow(1.0 - load_, 0.6));
-  const auto dl = radio::compute_phy_rate(tech, Direction::Downlink,
+  const auto dl = radio::compute_phy_rate(band, Direction::Downlink,
                                           s.sinr_dl, num_cc_dl_, prb_dl);
-  const auto ul = radio::compute_phy_rate(tech, Direction::Uplink, s.sinr_ul,
+  const auto ul = radio::compute_phy_rate(band, Direction::Uplink, s.sinr_ul,
                                           num_cc_ul_, prb_ul);
   s.mcs_dl = dl.mcs;
   s.mcs_ul = ul.mcs;

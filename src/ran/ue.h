@@ -15,6 +15,7 @@
 #include "core/rng.h"
 #include "core/sim_time.h"
 #include "core/units.h"
+#include "radio/band.h"
 #include "radio/fading.h"
 #include "radio/phy_rate.h"
 #include "ran/deployment.h"
@@ -66,9 +67,15 @@ struct HandoverRecord {
 
 class UeSimulator {
  public:
+  // `plan` selects the band catalog every link-budget/PHY computation uses
+  // (scenarios swap it wholesale); `regime` applies diurnal load scaling
+  // when a cell's load character is drawn. The defaults reproduce the
+  // paper's behavior exactly.
   UeSimulator(const Corridor& corridor, const Deployment& deployment,
               const OperatorProfile& profile, Rng rng,
-              TrafficProfile traffic = TrafficProfile::Idle);
+              TrafficProfile traffic = TrafficProfile::Idle,
+              const radio::BandPlan& plan = radio::default_band_plan(),
+              LoadRegime regime = LoadRegime{});
 
   // Change the traffic context (forces a policy re-evaluation).
   void set_traffic(TrafficProfile t);
@@ -113,7 +120,8 @@ class UeSimulator {
   void begin_handover(SimTime now, Meters pos, radio::Tech to_tech,
                       const Cell* to_cell);
   [[nodiscard]] double target_load(radio::Environment env) const;
-  [[nodiscard]] double draw_cell_load(radio::Environment env);
+  [[nodiscard]] double draw_cell_load(radio::Environment env, SimTime now,
+                                      Meters pos);
   [[nodiscard]] Millis sample_ho_duration();
 
   const Corridor& corridor_;
@@ -121,6 +129,8 @@ class UeSimulator {
   const OperatorProfile& profile_;
   Rng rng_;
   TrafficProfile traffic_;
+  const radio::BandPlan& plan_;
+  LoadRegime regime_;
 
   std::array<std::optional<LayerState>, 5> layers_;
   radio::BlockageProcess blockage_;

@@ -1,0 +1,44 @@
+// Minimal JSON reader for scenario files.
+//
+// Self-contained recursive-descent parser (no third-party dependency, per
+// the repo's no-new-deps rule). Objects preserve key order as a
+// vector<pair>, which keeps iteration deterministic and lets the scenario
+// layer report unknown keys in file order. Numbers parse via
+// std::from_chars so the result is locale-independent and round-trips the
+// shortest representation printed by to_json().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wheels::scenario {
+
+// One parsed JSON value. A plain tagged struct rather than std::variant:
+// the handful of accessors the spec loader needs stay readable and the
+// error messages stay precise.
+struct JsonValue {
+  enum class Kind : int { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+};
+
+// Parse a complete JSON document. Throws std::invalid_argument with the
+// byte offset of the first error (trailing non-whitespace content and
+// duplicate object keys are errors).
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+// Serialize a string with JSON escaping (used by scenario::to_json).
+[[nodiscard]] std::string json_quote(std::string_view s);
+
+}  // namespace wheels::scenario

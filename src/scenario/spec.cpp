@@ -1,0 +1,944 @@
+#include "scenario/spec.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/json.h"
+
+namespace wheels::scenario {
+namespace {
+
+// Domain tag "whl-scen": scenario hashes live in their own namespace so a
+// spec hash can never collide with a campaign/app fingerprint input.
+constexpr std::uint64_t kTagScenario = 0x77686C2D7363656EULL;
+
+// Local FNV-1a (the dataset layer sits above scenario, so its hasher is
+// not reachable from here; same constants, same byte order).
+class Hasher {
+ public:
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u64(static_cast<std::uint64_t>(
+      static_cast<std::uint32_t>(v))); }
+  void boolean(bool v) { byte(v ? 1 : 0); }
+  void str(std::string_view s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  void byte(unsigned char b) {
+    state_ ^= b;
+    state_ *= 0x100000001B3ULL;
+  }
+  std::uint64_t state_ = 0xCBF29CE484222325ULL;
+};
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("scenario: " + what);
+}
+
+// ---------------------------------------------------------------------------
+// JSON -> spec
+
+double as_number(const JsonValue& v, const std::string& path) {
+  if (v.kind != JsonValue::Kind::Number) bad(path + " must be a number");
+  return v.number;
+}
+
+int as_int(const JsonValue& v, const std::string& path) {
+  const double d = as_number(v, path);
+  const double r = std::floor(d);
+  if (r != d || d < -2147483648.0 || d > 2147483647.0) {
+    bad(path + " must be an integer");
+  }
+  return static_cast<int>(r);
+}
+
+std::uint64_t as_u64(const JsonValue& v, const std::string& path) {
+  const double d = as_number(v, path);
+  if (std::floor(d) != d || d < 0.0 || d > 9007199254740992.0) {
+    bad(path + " must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+bool as_bool(const JsonValue& v, const std::string& path) {
+  if (v.kind != JsonValue::Kind::Bool) bad(path + " must be a boolean");
+  return v.boolean;
+}
+
+const std::string& as_string(const JsonValue& v, const std::string& path) {
+  if (v.kind != JsonValue::Kind::String) bad(path + " must be a string");
+  return v.string;
+}
+
+void require_object(const JsonValue& v, const std::string& path) {
+  if (v.kind != JsonValue::Kind::Object) bad(path + " must be an object");
+}
+
+void apply_timing(TimingSpec& t, const JsonValue& v) {
+  require_object(v, "timing");
+  for (const auto& [key, val] : v.object) {
+    const std::string path = "timing." + key;
+    if (key == "slot_ms") {
+      t.slot_ms = as_number(val, path);
+    } else if (key == "tput_test_ms") {
+      t.tput_test_ms = as_number(val, path);
+    } else if (key == "rtt_test_ms") {
+      t.rtt_test_ms = as_number(val, path);
+    } else if (key == "gap_ms") {
+      t.gap_ms = as_number(val, path);
+    } else if (key == "ping_interval_ms") {
+      t.ping_interval_ms = as_number(val, path);
+    } else if (key == "sample_window_ms") {
+      t.sample_window_ms = as_number(val, path);
+    } else {
+      bad("unknown key " + path);
+    }
+  }
+}
+
+void apply_drive(DriveSpec& d, const JsonValue& v) {
+  require_object(v, "drive");
+  for (const auto& [key, val] : v.object) {
+    const std::string path = "drive." + key;
+    if (key == "hours_per_day") {
+      d.hours_per_day = as_number(val, path);
+    } else if (key == "start_hour_local") {
+      d.start_hour_local = as_int(val, path);
+    } else {
+      bad("unknown key " + path);
+    }
+  }
+}
+
+void apply_speed(SpeedSpec& s, const JsonValue& v) {
+  require_object(v, "speed");
+  for (const auto& [key, val] : v.object) {
+    const std::string path = "speed." + key;
+    if (key == "urban_mph") {
+      s.urban_mph = as_number(val, path);
+    } else if (key == "suburban_mph") {
+      s.suburban_mph = as_number(val, path);
+    } else if (key == "rural_mph") {
+      s.rural_mph = as_number(val, path);
+    } else if (key == "max_mph") {
+      s.max_mph = as_number(val, path);
+    } else {
+      bad("unknown key " + path);
+    }
+  }
+}
+
+WaypointSpec parse_waypoint(const JsonValue& v, const std::string& path) {
+  require_object(v, path);
+  WaypointSpec w;
+  bool have_name = false, have_lat = false, have_lon = false;
+  for (const auto& [key, val] : v.object) {
+    const std::string kp = path + "." + key;
+    if (key == "name") {
+      w.name = as_string(val, kp);
+      have_name = true;
+    } else if (key == "lat") {
+      w.lat = as_number(val, kp);
+      have_lat = true;
+    } else if (key == "lon") {
+      w.lon = as_number(val, kp);
+      have_lon = true;
+    } else if (key == "edge_server") {
+      w.edge_server = as_bool(val, kp);
+    } else {
+      bad("unknown key " + kp);
+    }
+  }
+  if (!have_name || !have_lat || !have_lon) {
+    bad(path + " requires name, lat, and lon");
+  }
+  return w;
+}
+
+void apply_route(RouteSpec& r, const JsonValue& v) {
+  require_object(v, "route");
+  for (const auto& [key, val] : v.object) {
+    const std::string path = "route." + key;
+    if (key == "road_factor") {
+      r.road_factor = as_number(val, path);
+    } else if (key == "waypoints") {
+      if (val.kind != JsonValue::Kind::Array) bad(path + " must be an array");
+      r.waypoints.clear();
+      for (std::size_t i = 0; i < val.array.size(); ++i) {
+        r.waypoints.push_back(parse_waypoint(
+            val.array[i], path + "[" + std::to_string(i) + "]"));
+      }
+    } else {
+      bad("unknown key " + path);
+    }
+  }
+}
+
+void apply_promotion(PromotionSpec& p, const JsonValue& v,
+                     const std::string& path) {
+  require_object(v, path);
+  for (const auto& [key, val] : v.object) {
+    const std::string kp = path + "." + key;
+    if (key == "hs5g_given_dl") {
+      p.hs5g_given_dl = as_number(val, kp);
+    } else if (key == "hs5g_given_ul") {
+      p.hs5g_given_ul = as_number(val, kp);
+    } else if (key == "hs5g_given_interactive") {
+      p.hs5g_given_interactive = as_number(val, kp);
+    } else if (key == "low5g_given_traffic") {
+      p.low5g_given_traffic = as_number(val, kp);
+    } else if (key == "any5g_given_idle") {
+      p.any5g_given_idle = as_number(val, kp);
+    } else {
+      bad("unknown key " + kp);
+    }
+  }
+}
+
+OperatorSpec parse_operator(const JsonValue& v, const std::string& path) {
+  require_object(v, path);
+  OperatorSpec op;
+  bool have_name = false, have_cal = false;
+  for (const auto& [key, val] : v.object) {
+    const std::string kp = path + "." + key;
+    if (key == "name") {
+      op.name = as_string(val, kp);
+      have_name = true;
+    } else if (key == "calibration") {
+      op.calibration = as_string(val, kp);
+      have_cal = true;
+    } else if (key == "promotion") {
+      apply_promotion(op.promotion, val, kp);
+    } else if (key == "availability_scale") {
+      op.availability_scale = as_number(val, kp);
+    } else if (key == "load_scale") {
+      op.load_scale = as_number(val, kp);
+    } else {
+      bad("unknown key " + kp);
+    }
+  }
+  if (!have_name || !have_cal) bad(path + " requires name and calibration");
+  return op;
+}
+
+void apply_band(radio::BandProfile& b, const JsonValue& v,
+                const std::string& path) {
+  require_object(v, path);
+  for (const auto& [key, val] : v.object) {
+    const std::string kp = path + "." + key;
+    if (key == "carrier_mhz") {
+      b.carrier = MHz{as_number(val, kp)};
+    } else if (key == "cc_bandwidth_dl_mhz") {
+      b.cc_bandwidth_dl = MHz{as_number(val, kp)};
+    } else if (key == "cc_bandwidth_ul_mhz") {
+      b.cc_bandwidth_ul = MHz{as_number(val, kp)};
+    } else if (key == "max_cc_dl") {
+      b.max_cc_dl = as_int(val, kp);
+    } else if (key == "max_cc_ul") {
+      b.max_cc_ul = as_int(val, kp);
+    } else if (key == "mimo_layers_dl") {
+      b.mimo_layers_dl = as_int(val, kp);
+    } else if (key == "mimo_layers_ul") {
+      b.mimo_layers_ul = as_int(val, kp);
+    } else if (key == "tx_power_dl_dbm") {
+      b.tx_power_dl = Dbm{as_number(val, kp)};
+    } else if (key == "tx_power_ul_dbm") {
+      b.tx_power_ul = Dbm{as_number(val, kp)};
+    } else if (key == "antenna_gain_dl_db") {
+      b.antenna_gain_dl = Db{as_number(val, kp)};
+    } else if (key == "typical_range_m") {
+      b.typical_range = Meters{as_number(val, kp)};
+    } else {
+      bad("unknown key " + kp);
+    }
+  }
+}
+
+void apply_bands(radio::BandPlan& plan, const JsonValue& v) {
+  require_object(v, "bands");
+  for (const auto& [key, val] : v.object) {
+    bool known = false;
+    for (const radio::Tech tech : radio::kAllTechs) {
+      if (key == radio::to_string(tech)) {
+        apply_band(plan.profile(tech), val, "bands." + key);
+        known = true;
+        break;
+      }
+    }
+    if (!known) bad("unknown band \"" + key + "\" in bands");
+  }
+}
+
+void apply_regime(LoadRegimeSpec& r, const JsonValue& v) {
+  require_object(v, "load_regime");
+  for (const auto& [key, val] : v.object) {
+    const std::string path = "load_regime." + key;
+    if (key == "night") {
+      r.night = as_number(val, path);
+    } else if (key == "morning") {
+      r.morning = as_number(val, path);
+    } else if (key == "afternoon") {
+      r.afternoon = as_number(val, path);
+    } else if (key == "evening") {
+      r.evening = as_number(val, path);
+    } else {
+      bad("unknown key " + path);
+    }
+  }
+}
+
+void apply_apps(AppMixSpec& a, const JsonValue& v) {
+  require_object(v, "apps");
+  for (const auto& [key, val] : v.object) {
+    const std::string path = "apps." + key;
+    if (key == "ar") {
+      a.ar = as_bool(val, path);
+    } else if (key == "cav") {
+      a.cav = as_bool(val, path);
+    } else if (key == "video") {
+      a.video = as_bool(val, path);
+    } else if (key == "gaming") {
+      a.gaming = as_bool(val, path);
+    } else {
+      bad("unknown key " + path);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// spec -> JSON
+
+// Shortest representation that round-trips exactly: try %.15g/%.16g, fall
+// back to %.17g.
+std::string fmt_double(double v) {
+  char buf[64];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (std::bit_cast<std::uint64_t>(back) ==
+        std::bit_cast<std::uint64_t>(v)) {
+      break;
+    }
+  }
+  return buf;
+}
+
+class JsonWriter {
+ public:
+  void open(const std::string& key) {
+    field_key(key);
+    out_ += "{";
+    first_ = true;
+  }
+  void open_root() {
+    out_ += "{";
+    first_ = true;
+  }
+  void close() {
+    out_ += "}";
+    first_ = false;
+  }
+  void open_array(const std::string& key) {
+    field_key(key);
+    out_ += "[";
+    first_ = true;
+  }
+  void close_array() {
+    out_ += "]";
+    first_ = false;
+  }
+  void open_element() {
+    sep();
+    out_ += "{";
+    first_ = true;
+  }
+  void str(const std::string& key, std::string_view v) {
+    field_key(key);
+    out_ += json_quote(v);
+  }
+  void num(const std::string& key, double v) {
+    field_key(key);
+    out_ += fmt_double(v);
+  }
+  void integer(const std::string& key, long long v) {
+    field_key(key);
+    out_ += std::to_string(v);
+  }
+  void boolean(const std::string& key, bool v) {
+    field_key(key);
+    out_ += v ? "true" : "false";
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void sep() {
+    if (!first_) out_ += ",";
+    first_ = false;
+  }
+  void field_key(const std::string& key) {
+    sep();
+    out_ += json_quote(key);
+    out_ += ":";
+  }
+  std::string out_;
+  bool first_ = true;
+};
+
+void write_promotion(JsonWriter& w, const PromotionSpec& p) {
+  // NaN means "inherit" and has no JSON spelling: dump only overridden
+  // fields (absence == inherit, so the round-trip is exact).
+  w.open("promotion");
+  if (!std::isnan(p.hs5g_given_dl)) w.num("hs5g_given_dl", p.hs5g_given_dl);
+  if (!std::isnan(p.hs5g_given_ul)) w.num("hs5g_given_ul", p.hs5g_given_ul);
+  if (!std::isnan(p.hs5g_given_interactive)) {
+    w.num("hs5g_given_interactive", p.hs5g_given_interactive);
+  }
+  if (!std::isnan(p.low5g_given_traffic)) {
+    w.num("low5g_given_traffic", p.low5g_given_traffic);
+  }
+  if (!std::isnan(p.any5g_given_idle)) {
+    w.num("any5g_given_idle", p.any5g_given_idle);
+  }
+  w.close();
+}
+
+// ---------------------------------------------------------------------------
+// built-in library
+
+OperatorSpec make_operator(std::string name, std::string calibration) {
+  OperatorSpec op;
+  op.name = std::move(name);
+  op.calibration = std::move(calibration);
+  return op;
+}
+
+std::vector<OperatorSpec> paper_roster() {
+  return {make_operator("Verizon", "verizon"),
+          make_operator("T-Mobile", "tmobile"),
+          make_operator("AT&T", "att")};
+}
+
+ScenarioSpec make_urban_loop() {
+  ScenarioSpec s = paper_default();
+  s.name = "urban-loop";
+  s.description =
+      "Short Los Angeles metro loop: dense urban driving, strong diurnal "
+      "load swings, low speeds.";
+  s.route.waypoints = {
+      {"Los Angeles", 34.05, -118.24, true},
+      {"Santa Monica", 34.02, -118.49, false},
+      {"Long Beach", 33.77, -118.19, false},
+      {"Pasadena", 34.15, -118.14, false},
+      {"Hollywood", 34.10, -118.33, false},
+  };
+  s.drive.hours_per_day = 6.0;
+  s.speed = SpeedSpec{12.0, 30.0, 55.0, 65.0};
+  s.load_regime = LoadRegimeSpec{0.6, 1.3, 1.1, 1.25};
+  return s;
+}
+
+ScenarioSpec make_commuter_corridor() {
+  ScenarioSpec s = paper_default();
+  s.name = "commuter-corridor";
+  s.description =
+      "LA -> Barstow -> Las Vegas commuter run with rush-hour load peaks.";
+  s.route.waypoints = {
+      {"Los Angeles", 34.05, -118.24, true},
+      {"Barstow", 34.90, -117.02, false},
+      {"Las Vegas", 36.17, -115.14, true},
+  };
+  s.drive.hours_per_day = 5.0;
+  s.load_regime = LoadRegimeSpec{0.5, 1.4, 1.0, 1.3};
+  return s;
+}
+
+ScenarioSpec make_highway_convoy() {
+  ScenarioSpec s = paper_default();
+  s.name = "highway-convoy";
+  s.description =
+      "Denver -> Omaha -> Chicago interstate convoy: sustained high speed, "
+      "CAV offload and cloud gaming only.";
+  s.route.waypoints = {
+      {"Denver", 39.74, -104.99, true},
+      {"Omaha", 41.26, -95.93, false},
+      {"Chicago", 41.88, -87.63, true},
+  };
+  s.drive.hours_per_day = 10.0;
+  s.speed.rural_mph = 75.0;
+  s.speed.max_mph = 80.0;
+  s.apps = AppMixSpec{false, true, false, true};
+  return s;
+}
+
+ScenarioSpec make_eu_band_plan() {
+  ScenarioSpec s = paper_default();
+  s.name = "eu-band-plan";
+  s.description =
+      "European carrier frequencies (B3/B7 LTE, n78 mid-band, n258 mmWave) "
+      "on a short desert corridor.";
+  s.route.waypoints = {
+      {"Los Angeles", 34.05, -118.24, true},
+      {"Las Vegas", 36.17, -115.14, true},
+  };
+  s.operators = {make_operator("EU-North", "verizon"),
+                 make_operator("EU-Central", "tmobile"),
+                 make_operator("EU-South", "att")};
+  s.bands.profile(radio::Tech::LTE).carrier = MHz{1800.0};
+  s.bands.profile(radio::Tech::LTE_A).carrier = MHz{2600.0};
+  s.bands.profile(radio::Tech::NR_MID).carrier = MHz{3600.0};
+  s.bands.profile(radio::Tech::NR_MID).cc_bandwidth_dl = MHz{100.0};
+  s.bands.profile(radio::Tech::NR_MID).cc_bandwidth_ul = MHz{100.0};
+  s.bands.profile(radio::Tech::NR_MMWAVE).carrier = MHz{26000.0};
+  return s;
+}
+
+ScenarioSpec make_degraded_coverage_storm() {
+  ScenarioSpec s = paper_default();
+  s.name = "degraded-coverage-storm";
+  s.description =
+      "Severe-weather corridor: coverage availability cut, cells loaded, "
+      "slow cautious driving.";
+  s.route.waypoints = {
+      {"Los Angeles", 34.05, -118.24, true},
+      {"Las Vegas", 36.17, -115.14, true},
+      {"Salt Lake City", 40.76, -111.89, false},
+  };
+  for (OperatorSpec& op : s.operators) {
+    op.availability_scale = 0.55;
+    op.load_scale = 1.25;
+  }
+  s.speed = SpeedSpec{10.0, 25.0, 45.0, 55.0};
+  s.load_regime = LoadRegimeSpec{1.1, 1.2, 1.3, 1.2};
+  return s;
+}
+
+}  // namespace
+
+double inherit() { return std::numeric_limits<double>::quiet_NaN(); }
+
+PromotionSpec::PromotionSpec()
+    : hs5g_given_dl(inherit()),
+      hs5g_given_ul(inherit()),
+      hs5g_given_interactive(inherit()),
+      low5g_given_traffic(inherit()),
+      any5g_given_idle(inherit()) {}
+
+ScenarioSpec paper_default() {
+  ScenarioSpec s;
+  s.name = "paper-default";
+  s.description =
+      "The study's LA -> Boston cross-country drive: 2022-era US band "
+      "plans, three-operator roster, eleven-hour driving days.";
+  s.route.waypoints = {
+      {"Los Angeles", 34.05, -118.24, true},
+      {"Las Vegas", 36.17, -115.14, true},
+      {"Salt Lake City", 40.76, -111.89, false},
+      {"Denver", 39.74, -104.99, true},
+      {"Omaha", 41.26, -95.93, false},
+      {"Chicago", 41.88, -87.63, true},
+      {"Indianapolis", 39.77, -86.16, false},
+      {"Cleveland", 41.50, -81.69, false},
+      {"Rochester", 43.16, -77.61, false},
+      {"Boston", 42.36, -71.06, true},
+  };
+  s.operators = paper_roster();
+  return s;
+}
+
+std::vector<ScenarioSpec> builtin_scenarios() {
+  std::vector<ScenarioSpec> all;
+  all.push_back(paper_default());
+  all.push_back(make_urban_loop());
+  all.push_back(make_commuter_corridor());
+  all.push_back(make_highway_convoy());
+  all.push_back(make_eu_band_plan());
+  all.push_back(make_degraded_coverage_storm());
+  return all;
+}
+
+void validate(const ScenarioSpec& spec) {
+  if (spec.name.empty()) bad("name must not be empty");
+  for (const char c : spec.name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-';
+    if (!ok) bad("name must match [a-z0-9-]+: \"" + spec.name + "\"");
+  }
+
+  const TimingSpec& t = spec.timing;
+  const std::pair<const char*, double> timings[] = {
+      {"timing.slot_ms", t.slot_ms},
+      {"timing.tput_test_ms", t.tput_test_ms},
+      {"timing.rtt_test_ms", t.rtt_test_ms},
+      {"timing.gap_ms", t.gap_ms},
+      {"timing.ping_interval_ms", t.ping_interval_ms},
+      {"timing.sample_window_ms", t.sample_window_ms}};
+  for (const auto& [label, v] : timings) {
+    if (!(v > 0.0) || !std::isfinite(v)) {
+      bad(std::string(label) + " must be a positive number");
+    }
+  }
+
+  if (!(spec.drive.hours_per_day > 0.0) || spec.drive.hours_per_day > 24.0) {
+    bad("drive.hours_per_day must be in (0, 24]");
+  }
+  if (spec.drive.start_hour_local < 0 || spec.drive.start_hour_local > 23) {
+    bad("drive.start_hour_local must be in [0, 23]");
+  }
+
+  const SpeedSpec& sp = spec.speed;
+  if (!(sp.max_mph > 0.0) || !std::isfinite(sp.max_mph)) {
+    bad("speed.max_mph must be a positive number");
+  }
+  const std::pair<const char*, double> targets[] = {
+      {"speed.urban_mph", sp.urban_mph},
+      {"speed.suburban_mph", sp.suburban_mph},
+      {"speed.rural_mph", sp.rural_mph}};
+  for (const auto& [label, v] : targets) {
+    if (!(v > 0.0) || !std::isfinite(v)) {
+      bad(std::string(label) + " must be a positive number");
+    }
+    if (v > sp.max_mph) {
+      bad(std::string(label) + " exceeds speed.max_mph");
+    }
+  }
+
+  if (!(spec.route.road_factor > 0.0) ||
+      !std::isfinite(spec.route.road_factor)) {
+    bad("route.road_factor must be a positive number");
+  }
+  if (spec.route.waypoints.size() < 2) {
+    bad("route needs at least two waypoints");
+  }
+  bool any_edge = false;
+  for (std::size_t i = 0; i < spec.route.waypoints.size(); ++i) {
+    const WaypointSpec& w = spec.route.waypoints[i];
+    const std::string at = "route.waypoints[" + std::to_string(i) + "]";
+    if (w.name.empty()) bad(at + ".name must not be empty");
+    if (w.lat < -90.0 || w.lat > 90.0) bad(at + ".lat out of [-90, 90]");
+    if (w.lon < -180.0 || w.lon > 180.0) bad(at + ".lon out of [-180, 180]");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.route.waypoints[j].name == w.name) {
+        bad("duplicate waypoint name \"" + w.name + "\"");
+      }
+    }
+    any_edge = any_edge || w.edge_server;
+  }
+  if (!any_edge) bad("route needs at least one edge_server waypoint");
+
+  if (spec.operators.size() != 3) {
+    bad("operators must list exactly 3 entries (one per result slot)");
+  }
+  for (std::size_t i = 0; i < spec.operators.size(); ++i) {
+    const OperatorSpec& op = spec.operators[i];
+    const std::string at = "operators[" + std::to_string(i) + "]";
+    if (op.name.empty()) bad(at + ".name must not be empty");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.operators[j].name == op.name) {
+        bad("duplicate operator name \"" + op.name + "\"");
+      }
+    }
+    if (op.calibration != "verizon" && op.calibration != "tmobile" &&
+        op.calibration != "att") {
+      bad(at + ".calibration must be one of verizon/tmobile/att");
+    }
+    const std::pair<const char*, double> promos[] = {
+        {"hs5g_given_dl", op.promotion.hs5g_given_dl},
+        {"hs5g_given_ul", op.promotion.hs5g_given_ul},
+        {"hs5g_given_interactive", op.promotion.hs5g_given_interactive},
+        {"low5g_given_traffic", op.promotion.low5g_given_traffic},
+        {"any5g_given_idle", op.promotion.any5g_given_idle}};
+    for (const auto& [label, v] : promos) {
+      if (std::isnan(v)) continue;  // inherit
+      if (v < 0.0 || v > 1.0) {
+        bad(at + ".promotion." + label + " must be in [0, 1] or absent");
+      }
+    }
+    if (!(op.availability_scale > 0.0) || op.availability_scale > 10.0) {
+      bad(at + ".availability_scale must be in (0, 10]");
+    }
+    if (!(op.load_scale > 0.0) || op.load_scale > 10.0) {
+      bad(at + ".load_scale must be in (0, 10]");
+    }
+  }
+
+  for (const radio::Tech tech : radio::kAllTechs) {
+    const radio::BandProfile& b = spec.bands.profile(tech);
+    const std::string at = "bands." + std::string(radio::to_string(tech));
+    if (b.tech != tech) bad(at + " profile tech mismatch");
+    if (!(b.carrier.value > 0.0)) bad(at + ".carrier_mhz must be positive");
+    if (!(b.cc_bandwidth_dl.value > 0.0)) {
+      bad(at + ".cc_bandwidth_dl_mhz must be positive");
+    }
+    if (!(b.cc_bandwidth_ul.value > 0.0)) {
+      bad(at + ".cc_bandwidth_ul_mhz must be positive");
+    }
+    if (b.max_cc_dl < 1 || b.max_cc_ul < 1) {
+      bad(at + " carrier counts must be >= 1");
+    }
+    if (b.mimo_layers_dl < 1 || b.mimo_layers_ul < 1) {
+      bad(at + " MIMO layer counts must be >= 1");
+    }
+    if (!std::isfinite(b.tx_power_dl.value) ||
+        !std::isfinite(b.tx_power_ul.value) ||
+        !std::isfinite(b.antenna_gain_dl.value)) {
+      bad(at + " powers/gains must be finite");
+    }
+    if (!(b.typical_range.value > 0.0)) {
+      bad(at + ".typical_range_m must be positive");
+    }
+  }
+
+  const std::pair<const char*, double> regimes[] = {
+      {"load_regime.night", spec.load_regime.night},
+      {"load_regime.morning", spec.load_regime.morning},
+      {"load_regime.afternoon", spec.load_regime.afternoon},
+      {"load_regime.evening", spec.load_regime.evening}};
+  for (const auto& [label, v] : regimes) {
+    if (!(v > 0.0) || v > 5.0) {
+      bad(std::string(label) + " must be in (0, 5]");
+    }
+  }
+
+  if (!spec.apps.ar && !spec.apps.cav && !spec.apps.video &&
+      !spec.apps.gaming) {
+    bad("apps must enable at least one session family");
+  }
+}
+
+std::uint64_t scenario_hash(const ScenarioSpec& spec) {
+  Hasher h;
+  h.u64(kTagScenario);
+  h.u64(spec.seed);
+
+  h.f64(spec.timing.slot_ms);
+  h.f64(spec.timing.tput_test_ms);
+  h.f64(spec.timing.rtt_test_ms);
+  h.f64(spec.timing.gap_ms);
+  h.f64(spec.timing.ping_interval_ms);
+  h.f64(spec.timing.sample_window_ms);
+
+  h.f64(spec.drive.hours_per_day);
+  h.i32(spec.drive.start_hour_local);
+
+  h.f64(spec.speed.urban_mph);
+  h.f64(spec.speed.suburban_mph);
+  h.f64(spec.speed.rural_mph);
+  h.f64(spec.speed.max_mph);
+
+  h.f64(spec.route.road_factor);
+  h.u64(spec.route.waypoints.size());
+  for (const WaypointSpec& w : spec.route.waypoints) {
+    h.str(w.name);
+    h.f64(w.lat);
+    h.f64(w.lon);
+    h.boolean(w.edge_server);
+  }
+
+  h.u64(spec.operators.size());
+  for (const OperatorSpec& op : spec.operators) {
+    h.str(op.name);
+    h.str(op.calibration);
+    h.f64(op.promotion.hs5g_given_dl);
+    h.f64(op.promotion.hs5g_given_ul);
+    h.f64(op.promotion.hs5g_given_interactive);
+    h.f64(op.promotion.low5g_given_traffic);
+    h.f64(op.promotion.any5g_given_idle);
+    h.f64(op.availability_scale);
+    h.f64(op.load_scale);
+  }
+
+  for (const radio::Tech tech : radio::kAllTechs) {
+    const radio::BandProfile& b = spec.bands.profile(tech);
+    h.f64(b.carrier.value);
+    h.f64(b.cc_bandwidth_dl.value);
+    h.f64(b.cc_bandwidth_ul.value);
+    h.i32(b.max_cc_dl);
+    h.i32(b.max_cc_ul);
+    h.i32(b.mimo_layers_dl);
+    h.i32(b.mimo_layers_ul);
+    h.f64(b.tx_power_dl.value);
+    h.f64(b.tx_power_ul.value);
+    h.f64(b.antenna_gain_dl.value);
+    h.f64(b.typical_range.value);
+  }
+
+  h.f64(spec.load_regime.night);
+  h.f64(spec.load_regime.morning);
+  h.f64(spec.load_regime.afternoon);
+  h.f64(spec.load_regime.evening);
+
+  h.boolean(spec.apps.ar);
+  h.boolean(spec.apps.cav);
+  h.boolean(spec.apps.video);
+  h.boolean(spec.apps.gaming);
+  return h.digest();
+}
+
+ScenarioSpec parse_scenario_json(std::string_view text) {
+  const JsonValue doc = parse_json(text);
+  require_object(doc, "scenario document");
+  ScenarioSpec spec = paper_default();
+  spec.description.clear();  // deltas describe themselves
+  for (const auto& [key, val] : doc.object) {
+    if (key == "name") {
+      spec.name = as_string(val, "name");
+    } else if (key == "description") {
+      spec.description = as_string(val, "description");
+    } else if (key == "seed") {
+      spec.seed = as_u64(val, "seed");
+    } else if (key == "timing") {
+      apply_timing(spec.timing, val);
+    } else if (key == "drive") {
+      apply_drive(spec.drive, val);
+    } else if (key == "speed") {
+      apply_speed(spec.speed, val);
+    } else if (key == "route") {
+      apply_route(spec.route, val);
+    } else if (key == "operators") {
+      if (val.kind != JsonValue::Kind::Array) {
+        bad("operators must be an array");
+      }
+      spec.operators.clear();
+      for (std::size_t i = 0; i < val.array.size(); ++i) {
+        spec.operators.push_back(parse_operator(
+            val.array[i], "operators[" + std::to_string(i) + "]"));
+      }
+    } else if (key == "bands") {
+      apply_bands(spec.bands, val);
+    } else if (key == "load_regime") {
+      apply_regime(spec.load_regime, val);
+    } else if (key == "apps") {
+      apply_apps(spec.apps, val);
+    } else {
+      bad("unknown key " + key);
+    }
+  }
+  validate(spec);
+  return spec;
+}
+
+std::string to_json(const ScenarioSpec& spec) {
+  JsonWriter w;
+  w.open_root();
+  w.str("name", spec.name);
+  w.str("description", spec.description);
+  w.integer("seed", static_cast<long long>(spec.seed));
+
+  w.open("timing");
+  w.num("slot_ms", spec.timing.slot_ms);
+  w.num("tput_test_ms", spec.timing.tput_test_ms);
+  w.num("rtt_test_ms", spec.timing.rtt_test_ms);
+  w.num("gap_ms", spec.timing.gap_ms);
+  w.num("ping_interval_ms", spec.timing.ping_interval_ms);
+  w.num("sample_window_ms", spec.timing.sample_window_ms);
+  w.close();
+
+  w.open("drive");
+  w.num("hours_per_day", spec.drive.hours_per_day);
+  w.integer("start_hour_local", spec.drive.start_hour_local);
+  w.close();
+
+  w.open("speed");
+  w.num("urban_mph", spec.speed.urban_mph);
+  w.num("suburban_mph", spec.speed.suburban_mph);
+  w.num("rural_mph", spec.speed.rural_mph);
+  w.num("max_mph", spec.speed.max_mph);
+  w.close();
+
+  w.open("route");
+  w.num("road_factor", spec.route.road_factor);
+  w.open_array("waypoints");
+  for (const WaypointSpec& wp : spec.route.waypoints) {
+    w.open_element();
+    w.str("name", wp.name);
+    w.num("lat", wp.lat);
+    w.num("lon", wp.lon);
+    w.boolean("edge_server", wp.edge_server);
+    w.close();
+  }
+  w.close_array();
+  w.close();
+
+  w.open_array("operators");
+  for (const OperatorSpec& op : spec.operators) {
+    w.open_element();
+    w.str("name", op.name);
+    w.str("calibration", op.calibration);
+    write_promotion(w, op.promotion);
+    w.num("availability_scale", op.availability_scale);
+    w.num("load_scale", op.load_scale);
+    w.close();
+  }
+  w.close_array();
+
+  w.open("bands");
+  for (const radio::Tech tech : radio::kAllTechs) {
+    const radio::BandProfile& b = spec.bands.profile(tech);
+    w.open(std::string(radio::to_string(tech)));
+    w.num("carrier_mhz", b.carrier.value);
+    w.num("cc_bandwidth_dl_mhz", b.cc_bandwidth_dl.value);
+    w.num("cc_bandwidth_ul_mhz", b.cc_bandwidth_ul.value);
+    w.integer("max_cc_dl", b.max_cc_dl);
+    w.integer("max_cc_ul", b.max_cc_ul);
+    w.integer("mimo_layers_dl", b.mimo_layers_dl);
+    w.integer("mimo_layers_ul", b.mimo_layers_ul);
+    w.num("tx_power_dl_dbm", b.tx_power_dl.value);
+    w.num("tx_power_ul_dbm", b.tx_power_ul.value);
+    w.num("antenna_gain_dl_db", b.antenna_gain_dl.value);
+    w.num("typical_range_m", b.typical_range.value);
+    w.close();
+  }
+  w.close();
+
+  w.open("load_regime");
+  w.num("night", spec.load_regime.night);
+  w.num("morning", spec.load_regime.morning);
+  w.num("afternoon", spec.load_regime.afternoon);
+  w.num("evening", spec.load_regime.evening);
+  w.close();
+
+  w.open("apps");
+  w.boolean("ar", spec.apps.ar);
+  w.boolean("cav", spec.apps.cav);
+  w.boolean("video", spec.apps.video);
+  w.boolean("gaming", spec.apps.gaming);
+  w.close();
+
+  w.close();
+  return w.take();
+}
+
+ScenarioSpec load_scenario(const std::string& name_or_path) {
+  for (ScenarioSpec& s : builtin_scenarios()) {
+    if (s.name == name_or_path) {
+      validate(s);
+      return std::move(s);
+    }
+  }
+  std::ifstream in(name_or_path, std::ios::binary);
+  if (!in) {
+    bad("\"" + name_or_path +
+        "\" is neither a built-in scenario nor a readable file");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_json(buf.str());
+}
+
+}  // namespace wheels::scenario

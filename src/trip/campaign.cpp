@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "radio/phy_rate.h"
+#include "ran/scenario_profiles.h"
 
 namespace wheels::trip {
 namespace {
@@ -56,7 +57,34 @@ std::vector<net::EdgeSite> edge_sites_from(const Route& route) {
   return sites;
 }
 
+// Validates before any member that derives from the spec is built (the
+// route is constructed in the init list, ahead of the ctor body).
+CampaignConfig validated(CampaignConfig cfg) {
+  scenario::validate(cfg.spec);
+  return cfg;
+}
+
 }  // namespace
+
+CampaignConfig CampaignConfig::from_scenario(
+    const scenario::ScenarioSpec& spec, int cycle_stride) {
+  scenario::validate(spec);
+  CampaignConfig cfg;
+  cfg.seed = spec.seed;
+  cfg.slot = Millis{spec.timing.slot_ms};
+  cfg.tput_test_duration = Millis{spec.timing.tput_test_ms};
+  cfg.rtt_test_duration = Millis{spec.timing.rtt_test_ms};
+  cfg.gap = Millis{spec.timing.gap_ms};
+  cfg.ping_interval = Millis{spec.timing.ping_interval_ms};
+  cfg.sample_window = Millis{spec.timing.sample_window_ms};
+  cfg.cycle_stride = cycle_stride;
+  cfg.drive.hours_per_day = spec.drive.hours_per_day;
+  cfg.drive.start_hour_local = spec.drive.start_hour_local;
+  cfg.drive.speed = SpeedTargets{spec.speed.urban_mph, spec.speed.suburban_mph,
+                                 spec.speed.rural_mph, spec.speed.max_mph};
+  cfg.spec = spec;
+  return cfg;
+}
 
 struct Campaign::PhoneSet {
   OperatorId op;
@@ -68,31 +96,39 @@ struct Campaign::PhoneSet {
   Millis passive_log_accum{0.0};
 
   PhoneSet(OperatorId op_, const ran::Corridor& corridor,
-           const ran::Deployment& dep, Rng r)
+           const ran::Deployment& dep, const ran::OperatorProfile& profile,
+           const radio::BandPlan& plan, ran::LoadRegime regime, Rng r)
       : op(op_),
-        test_ue(corridor, dep, ran::operator_profile(op_), r.fork("test"),
-                ran::TrafficProfile::Idle),
-        passive_ue(corridor, dep, ran::operator_profile(op_),
-                   r.fork("passive"), ran::TrafficProfile::Idle),
+        test_ue(corridor, dep, profile, r.fork("test"),
+                ran::TrafficProfile::Idle, plan, regime),
+        passive_ue(corridor, dep, profile, r.fork("passive"),
+                   ran::TrafficProfile::Idle, plan, regime),
         flow(r.fork("tcp")),
         rng(r.fork("misc")) {}
 };
 
 Campaign::Campaign(CampaignConfig cfg)
-    : cfg_(cfg),
-      rng_(cfg.seed),
-      route_(Route::cross_country()),
+    : cfg_(validated(std::move(cfg))),
+      rng_(cfg_.seed),
+      route_(Route::from_spec(cfg_.spec.route)),
       corridor_(build_corridor(route_, rng_.fork("corridor"))),
+      regime_(ran::regime_from_spec(cfg_.spec.load_regime)),
       servers_(edge_sites_from(route_)),
-      trip_(route_, corridor_, rng_.fork("trip"), cfg.drive),
+      trip_(route_, corridor_, rng_.fork("trip"), cfg_.drive),
       jobs_(resolve_jobs()) {
+  // Roster slot i realizes operators[i] (validate() pins the roster to
+  // exactly 3). Fork labels are the roster names: paper-default names the
+  // real operators, so the streams match the pre-scenario engine exactly.
   for (OperatorId op : ran::kAllOperators) {
     const auto i = static_cast<std::size_t>(op);
+    const scenario::OperatorSpec& ospec = cfg_.spec.operators[i];
+    profiles_[i] = ran::profile_from_spec(ospec, op);
     deployments_[i] = std::make_unique<ran::Deployment>(
-        ran::Deployment::generate(corridor_, ran::operator_profile(op),
-                                  rng_.fork(to_string(op))));
+        ran::Deployment::generate(corridor_, profiles_[i],
+                                  rng_.fork(ospec.name)));
     phones_.push_back(std::make_unique<PhoneSet>(
-        op, corridor_, *deployments_[i], rng_.fork(to_string(op)).fork("ue")));
+        op, corridor_, *deployments_[i], profiles_[i], cfg_.spec.bands,
+        regime_, rng_.fork(ospec.name).fork("ue")));
     result_.logs[i].op = op;
   }
 }
@@ -365,7 +401,7 @@ const CampaignResult& Campaign::run() {
   const std::int64_t replay_start = obs::now_ns();
   parallel_for_each(jobs_, phones_.size(), [&](std::size_t i) {
     std::string span_name = "campaign.replay.";
-    span_name += to_string(phones_[i]->op);
+    span_name += cfg_.spec.operators[i].name;
     const obs::Span span(span_name);
     replay_operator(*phones_[i], traj);
   });
@@ -394,15 +430,17 @@ const CampaignResult& Campaign::run() {
 
 StaticBaseline Campaign::run_static_baseline(OperatorId op) {
   const std::int64_t baseline_start = obs::now_ns();
+  const std::string& op_name =
+      cfg_.spec.operators[static_cast<std::size_t>(op)].name;
   std::string baseline_span_name = "campaign.baseline.";
-  baseline_span_name += to_string(op);
+  baseline_span_name += op_name;
   const obs::Span baseline_span(baseline_span_name);
 
   StaticBaseline out;
   out.op = op;
   const auto& dep = deployment(op);
-  const auto& profile = ran::operator_profile(op);
-  const Rng base = rng_.fork("static").fork(to_string(op));
+  const auto& profile = profiles_[static_cast<std::size_t>(op)];
+  const Rng base = rng_.fork("static").fork(op_name);
 
   struct CityRun {
     bool tested = false;
@@ -446,7 +484,8 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
     // never race (or depend) on one another's draws.
     const Rng city_rng = base.fork(city.name);
     ran::UeSimulator ue(corridor_, dep, profile, city_rng,
-                        ran::TrafficProfile::BackloggedDl);
+                        ran::TrafficProfile::BackloggedDl, cfg_.spec.bands,
+                        regime_);
     ue.set_favourable_conditions(true);
     net::CubicFlow flow(city_rng.fork("tcp"));
     Rng ping_rng = city_rng.fork("ping");

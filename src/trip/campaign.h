@@ -23,6 +23,7 @@
 #include "ran/corridor.h"
 #include "ran/deployment.h"
 #include "ran/ue.h"
+#include "scenario/spec.h"
 #include "trip/records.h"
 #include "trip/region.h"
 #include "trip/route.h"
@@ -44,8 +45,19 @@ struct CampaignConfig {
   // but the same geographic spread.
   int cycle_stride = 1;
   DriveConfig drive{};
+  // The declarative scenario the campaign realizes. The timing/seed/drive
+  // fields above are *derived* from it by from_scenario(); the spec is the
+  // single owner of those values (the defaults here match paper-default so
+  // a plain CampaignConfig{} still reproduces the study).
+  scenario::ScenarioSpec spec = scenario::paper_default();
   // Execution knobs (worker count) live outside this struct on purpose:
   // they must never affect the dataset fingerprint or the result bytes.
+
+  // Derive a config from a validated scenario. `cycle_stride` is an
+  // execution knob, not part of the scenario (it changes sample density,
+  // not the world being simulated).
+  static CampaignConfig from_scenario(const scenario::ScenarioSpec& spec,
+                                      int cycle_stride = 1);
 };
 
 struct CampaignResult {
@@ -120,6 +132,10 @@ class Campaign {
   Rng rng_;
   Route route_;
   ran::Corridor corridor_;
+  ran::LoadRegime regime_;
+  // Realized roster profiles, indexed like result_.logs. Declared before
+  // deployments_/phones_: both keep pointers/references into this array.
+  std::array<ran::OperatorProfile, 3> profiles_;
   std::array<std::unique_ptr<ran::Deployment>, 3> deployments_;
   net::ServerSelector servers_;
   TripSimulator trip_;

@@ -5,13 +5,6 @@
 #include <stdexcept>
 
 namespace wheels::trip {
-namespace {
-
-// Ratio of driven distance to great-circle distance, chosen so the route
-// totals ~5,711 km like the study's odometer.
-constexpr double kRoadFactor = 1.218;
-
-}  // namespace
 
 Route::Route(std::vector<City> cities, double road_factor)
     : cities_(std::move(cities)), road_factor_(road_factor) {
@@ -30,19 +23,16 @@ Route::Route(std::vector<City> cities, double road_factor)
 }
 
 Route Route::cross_country() {
-  std::vector<City> cities = {
-      {"Los Angeles", {34.05, -118.24}, Meters{0.0}, true},
-      {"Las Vegas", {36.17, -115.14}, Meters{0.0}, true},
-      {"Salt Lake City", {40.76, -111.89}, Meters{0.0}, false},
-      {"Denver", {39.74, -104.99}, Meters{0.0}, true},
-      {"Omaha", {41.26, -95.93}, Meters{0.0}, false},
-      {"Chicago", {41.88, -87.63}, Meters{0.0}, true},
-      {"Indianapolis", {39.77, -86.16}, Meters{0.0}, false},
-      {"Cleveland", {41.50, -81.69}, Meters{0.0}, false},
-      {"Rochester", {43.16, -77.61}, Meters{0.0}, false},
-      {"Boston", {42.36, -71.06}, Meters{0.0}, true},
-  };
-  return Route(std::move(cities), kRoadFactor);
+  return from_spec(scenario::paper_default().route);
+}
+
+Route Route::from_spec(const scenario::RouteSpec& spec) {
+  std::vector<City> cities;
+  cities.reserve(spec.waypoints.size());
+  for (const scenario::WaypointSpec& w : spec.waypoints) {
+    cities.push_back(City{w.name, {w.lat, w.lon}, Meters{0.0}, w.edge_server});
+  }
+  return Route(std::move(cities), spec.road_factor);
 }
 
 LatLon Route::position_at(Meters pos) const {

@@ -12,6 +12,7 @@
 #include "core/geo.h"
 #include "core/sim_time.h"
 #include "core/units.h"
+#include "scenario/spec.h"
 
 namespace wheels::trip {
 
@@ -24,8 +25,11 @@ struct City {
 
 class Route {
  public:
-  // The study's cross-continental route.
+  // The study's cross-continental route (the paper-default scenario).
   static Route cross_country();
+
+  // Build a route from a scenario's declarative waypoint list.
+  static Route from_spec(const scenario::RouteSpec& spec);
 
   [[nodiscard]] Meters length() const { return length_; }
   [[nodiscard]] const std::vector<City>& cities() const { return cities_; }

@@ -7,15 +7,16 @@ namespace wheels::trip {
 
 using radio::Environment;
 
-SpeedProfile::SpeedProfile(Rng rng) : rng_(rng) {}
+SpeedProfile::SpeedProfile(Rng rng, SpeedTargets targets)
+    : rng_(rng), targets_(targets) {}
 
-double SpeedProfile::target_mph(Environment env) {
+double SpeedProfile::target_mph(Environment env) const {
   switch (env) {
-    case Environment::Urban: return 14.0;
-    case Environment::Suburban: return 38.0;
-    case Environment::Rural: return 70.0;
+    case Environment::Urban: return targets_.urban_mph;
+    case Environment::Suburban: return targets_.suburban_mph;
+    case Environment::Rural: return targets_.rural_mph;
   }
-  return 60.0;
+  return targets_.rural_mph;
 }
 
 Mph SpeedProfile::step(Environment env, Millis dt) {
@@ -48,7 +49,7 @@ Mph SpeedProfile::step(Environment env, Millis dt) {
   const double theta = std::min(1.0, dt_s / 15.0);
   speed_mph_ += theta * (target - speed_mph_) +
                 2.0 * std::sqrt(std::min(1.0, dt_s)) * rng_.normal();
-  speed_mph_ = std::clamp(speed_mph_, 0.0, 82.0);
+  speed_mph_ = std::clamp(speed_mph_, 0.0, targets_.max_mph);
   return Mph{speed_mph_};
 }
 

@@ -13,9 +13,18 @@
 
 namespace wheels::trip {
 
+// Per-environment target speeds (and the hard cap) the OU process relaxes
+// toward. Defaults reproduce the paper's drive; scenarios may override.
+struct SpeedTargets {
+  double urban_mph = 14.0;
+  double suburban_mph = 38.0;
+  double rural_mph = 70.0;
+  double max_mph = 82.0;
+};
+
 class SpeedProfile {
  public:
-  explicit SpeedProfile(Rng rng);
+  explicit SpeedProfile(Rng rng, SpeedTargets targets = SpeedTargets{});
 
   // Advance by dt within the given environment; returns the new speed.
   Mph step(radio::Environment env, Millis dt);
@@ -23,9 +32,10 @@ class SpeedProfile {
   [[nodiscard]] Mph current() const { return Mph{speed_mph_}; }
 
  private:
-  [[nodiscard]] static double target_mph(radio::Environment env);
+  [[nodiscard]] double target_mph(radio::Environment env) const;
 
   Rng rng_;
+  SpeedTargets targets_;
   double speed_mph_ = 0.0;
   // Stop-and-go state (urban) and slow-down state (congestion anywhere).
   Millis stop_remaining_{0.0};

@@ -7,8 +7,8 @@ namespace wheels::trip {
 TripSimulator::TripSimulator(const Route& route,
                              const ran::Corridor& corridor, Rng rng,
                              DriveConfig cfg)
-    : route_(route), corridor_(corridor), speed_(rng.fork("speed")),
-      cfg_(cfg) {
+    : route_(route), corridor_(corridor),
+      speed_(rng.fork("speed"), cfg.speed), cfg_(cfg) {
   point_.day = 1;
   point_.position = Meters{0.0};
   start_day();

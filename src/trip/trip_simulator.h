@@ -25,6 +25,7 @@ struct TripPoint {
 struct DriveConfig {
   double hours_per_day = 11.0;
   int start_hour_local = 8;
+  SpeedTargets speed{};
 };
 
 class TripSimulator {

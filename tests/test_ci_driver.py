@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Exit-code contract tests for tools/run_static_analysis.sh.
 
-The heavy stages (dataset CLI, trace validation, header selfcheck,
-werror/sanitizer builds, clang-tidy) are env-disabled so every case here finishes in
-seconds; what's under test is the driver itself: stage toggles, --quick,
+The heavy stages (dataset CLI, scenario smoke, trace validation, header
+selfcheck, werror/sanitizer builds, clang-tidy) are env-disabled so every
+case here finishes in seconds; what's under test is the driver itself: stage toggles, --quick,
 unknown-flag rejection, and failure propagation from a stage into the
 script's exit status (injected via the WHEELS_CI_LINT_ROOT /
 WHEELS_CI_CONTRACT_ROOT test hooks, which point the full-repo lint or
@@ -22,6 +22,7 @@ DRIVER = os.path.join(REPO_ROOT, "tools", "run_static_analysis.sh")
 
 HEAVY_STAGES_OFF = {
     "WHEELS_CI_DATASET": "0",
+    "WHEELS_CI_SCENARIO": "0",
     "WHEELS_CI_TRACE": "0",
     "WHEELS_CI_HEADERS": "0",
     "WHEELS_CI_WERROR": "0",
@@ -59,6 +60,7 @@ class QuickPass(unittest.TestCase):
     def test_disabled_stages_do_not_run(self):
         _, out = run_driver("--quick")
         self.assertNotIn("wheels_campaign CLI smoke", out)
+        self.assertNotIn("scenario smoke", out)
         self.assertNotIn("werror build", out)
         self.assertNotIn("header self-sufficiency", out)
 

@@ -54,7 +54,7 @@ class GoodFixture(unittest.TestCase):
         for rule in ("registry", "schema-pin", "golden-pin", "pins-stale",
                      "env-undeclared", "env-unused", "doc-drift",
                      "cli-flag", "span-prefix", "ci-stage",
-                     "ctest-registration"):
+                     "ctest-registration", "scenario-registry"):
             self.assertIn(rule, proc.stdout)
 
 
@@ -245,6 +245,64 @@ class ValidateTraceContracts(unittest.TestCase):
         code, _, err = self.run_validate(
             [self.span("sim.run.total")], "--contracts", "/nonexistent.json")
         self.assertEqual(code, 2, err)
+
+
+class ScenarioRegistry(unittest.TestCase):
+    """The scenario-registry rule: shipped scenarios/*.json files must
+    parse, carry unique names matching their filenames, and show up in
+    the generated README scenario table. Exercised on temp copies of the
+    good fixture (which itself has no scenarios/ directory, proving the
+    rule is a no-op for trees without a library)."""
+
+    def make_root(self, tmp, files):
+        root = os.path.join(tmp, "good")
+        shutil.copytree(os.path.join(FIXTURES, "good"), root)
+        scen = os.path.join(root, "scenarios")
+        os.makedirs(scen)
+        for name, text in files.items():
+            with open(os.path.join(scen, name), "w", encoding="utf-8") as f:
+                f.write(text)
+        return root
+
+    def test_no_scenarios_dir_is_a_noop(self):
+        code, out, err = run_contract("good")
+        self.assertEqual(code, 0, out + err)
+
+    def test_valid_library_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_root(tmp, {
+                "alpha.json": '{"name": "alpha", "description": "a"}\n',
+            })
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 0, out)
+
+    def test_malformed_scenario_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_root(tmp, {"broken.json": '{"name": "broken"'})
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("scenarios/broken.json:1: [scenario-registry]",
+                          out)
+
+    def test_name_filename_mismatch_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_root(tmp, {
+                "alpha.json": '{"name": "beta", "description": "x"}\n',
+            })
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("[scenario-registry]", out)
+            self.assertIn("alpha.json", out)
+
+    def test_duplicate_name_fires(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            root = self.make_root(tmp, {
+                "alpha.json": '{"name": "alpha", "description": "x"}\n',
+                "beta.json": '{"name": "alpha", "description": "y"}\n',
+            })
+            code, out, _ = run_contract_at(root)
+            self.assertEqual(code, 1, out)
+            self.assertIn("already taken", out)
 
 
 class RepoIsClean(unittest.TestCase):

@@ -10,29 +10,32 @@
 #                        + its own rule tests
 #   4. dataset CLI       wheels_campaign smoke (argument validation, info
 #                        on an empty cache; no simulation)
-#   5. trace validation  stride-64 bench with WHEELS_TRACE into a fresh
+#   5. scenario smoke    the scenario library loads (list-scenarios), one
+#                        non-default scenario generates at a sparse
+#                        stride, unknown scenario names are rejected
+#   6. trace validation  stride-64 bench with WHEELS_TRACE into a fresh
 #                        cache dir; the emitted Chrome trace must parse,
 #                        nest monotonically per thread and cover the
 #                        registry's required_span_prefixes
 #                        (tools/validate_trace.py --contracts)
-#   6. header selfcheck  one synthetic TU per src/**/*.h compiled under
+#   7. header selfcheck  one synthetic TU per src/**/*.h compiled under
 #                        the werror flag set (header self-sufficiency)
-#   7. werror build      expanded warning set promoted to errors
-#   8. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
-#   9. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
+#   8. werror build      expanded warning set promoted to errors
+#   9. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
+#  10. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
 #                        under ThreadSanitizer (the parallel replay path)
-#  10. clang-tidy        only when clang-tidy is installed (optional
+#  11. clang-tidy        only when clang-tidy is installed (optional
 #                        stage); consumes build/compile_commands.json
 #                        exported by the default preset so local and CI
 #                        invocations analyze identical command lines
 #
 # Usage: tools/run_static_analysis.sh [--quick]
-#   --quick     skip the sanitizer ctest runs (stages 8-9)
+#   --quick     skip the sanitizer ctest runs (stages 9-10)
 #
 # Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_ARCH=0, WHEELS_CI_CONTRACT=0,
-#              WHEELS_CI_DATASET=0, WHEELS_CI_TRACE=0, WHEELS_CI_HEADERS=0,
-#              WHEELS_CI_WERROR=0, WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0,
-#              WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
+#              WHEELS_CI_DATASET=0, WHEELS_CI_SCENARIO=0, WHEELS_CI_TRACE=0,
+#              WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0, WHEELS_CI_SANITIZE=0,
+#              WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
 # Test hooks:  WHEELS_CI_LINT_ROOT=<dir> lints that tree instead of the
 #              repo, WHEELS_CI_CONTRACT_ROOT=<dir> likewise for the
 #              contract check (used by tests/test_ci_driver.py to inject
@@ -123,7 +126,39 @@ if [[ "${WHEELS_CI_DATASET:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 5: trace validation ---------------------------------------------
+# --- Stage 5: scenario smoke -------------------------------------------------
+# The declarative scenario library must stay loadable and runnable end to
+# end: list-scenarios prints every built-in, and one non-default scenario
+# generates into a scratch cache at a sparse stride (a real simulation,
+# seconds-scale). Unknown scenario names must be rejected.
+if [[ "${WHEELS_CI_SCENARIO:-1}" == 1 ]]; then
+  banner "scenario smoke (list-scenarios + urban-loop generate)"
+  cmake --preset default >/dev/null
+  if cmake --build --preset default -j "$JOBS" --target wheels_campaign; then
+    CLI=build/tools/wheels_campaign
+    SCEN_DIR=build/ci-scenario-cache
+    rm -rf "$SCEN_DIR" && mkdir -p "$SCEN_DIR"
+    SCEN_OK=1
+    "$CLI" list-scenarios >/dev/null || SCEN_OK=0
+    "$CLI" generate --scenario urban-loop --stride 64 \
+        --skip-apps --skip-static --dir "$SCEN_DIR" >/dev/null || SCEN_OK=0
+    if "$CLI" generate --scenario no-such-scenario --dir "$SCEN_DIR" \
+        2>/dev/null; then
+      SCEN_OK=0  # unknown scenario names must be rejected
+    fi
+    rm -rf "$SCEN_DIR"
+    if [[ "$SCEN_OK" == 1 ]]; then
+      echo "scenario smoke: OK"
+    else
+      echo "scenario smoke FAILED"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+# --- Stage 6: trace validation ---------------------------------------------
 # Runs the stride-64 Fig.3 bench cold with WHEELS_TRACE armed and checks
 # the exported Chrome trace_event file: parseable JSON, spans nest
 # monotonically within each thread lane, and every phase the contract
@@ -158,7 +193,7 @@ if [[ "${WHEELS_CI_TRACE:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 6: header self-sufficiency --------------------------------------
+# --- Stage 7: header self-sufficiency --------------------------------------
 # cmake/HeaderSelfCheck.cmake generates one `#include "<header>"` TU per
 # public header; compiling the target proves every header stands alone
 # under -Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast.
@@ -169,14 +204,14 @@ if [[ "${WHEELS_CI_HEADERS:-1}" == 1 ]]; then
     || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 7: warnings-as-errors build -------------------------------------
+# --- Stage 8: warnings-as-errors build -------------------------------------
 if [[ "${WHEELS_CI_WERROR:-1}" == 1 ]]; then
   banner "werror build (-Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast)"
   cmake --preset werror >/dev/null
   cmake --build --preset werror -j "$JOBS" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 8: sanitizer-clean test suite -----------------------------------
+# --- Stage 9: sanitizer-clean test suite -----------------------------------
 if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
   banner "asan-ubsan build + ctest"
   cmake --preset asan-ubsan >/dev/null
@@ -188,7 +223,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
     ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 9: tsan over the parallel campaign path --------------------------
+# --- Stage 10: tsan over the parallel campaign path -------------------------
 # The deterministic parallel engine's data-race gate: thread-pool unit
 # tests plus the jobs=1 == jobs=4 determinism proofs, all with
 # WHEELS_JOBS=4 (set by the tsan-parallel test preset) so every pool and
@@ -201,7 +236,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_TSAN:-1}" == 1 ]]; then
     ctest --preset tsan-parallel || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 10: clang-tidy (best effort: optional in the container) ----------
+# --- Stage 11: clang-tidy (best effort: optional in the container) ----------
 # Every preset exports CMAKE_EXPORT_COMPILE_COMMANDS, so clang-tidy reads
 # the exact flags the build used; the file list comes from the database
 # itself rather than an ad-hoc find.

@@ -38,6 +38,7 @@
 #include "logsync/timestamp.h"
 #include "obs/metrics.h"
 #include "obs/runtime.h"
+#include "scenario/spec.h"
 #include "trip/campaign.h"
 
 namespace {
@@ -54,13 +55,17 @@ int usage(std::ostream& os, int code) {
         "  info        list the datasets in a cache directory, validating\n"
         "              each container header and checksum\n"
         "  export-csv  write the campaign dataset as CSV files\n"
+        "  list-scenarios\n"
+        "              list the built-in scenario library\n"
         "\n"
         "options:\n"
         "  --dir DIR        cache directory (default: WHEELS_DATASET_DIR\n"
         "                   or build/dataset-cache)\n"
+        "  --scenario S     built-in scenario name or path to a scenario\n"
+        "                   JSON file (default paper-default)\n"
         "  --stride N       measurement-campaign cycle stride (default 8)\n"
         "  --apps-stride N  app-campaign cycle stride (default 10)\n"
-        "  --seed S         campaign seed (default 42)\n"
+        "  --seed S         override the scenario's campaign seed\n"
         "  --jobs N         worker threads for generate (default: the\n"
         "                   WHEELS_JOBS env var, else 1); any N produces\n"
         "                   byte-identical datasets\n"
@@ -90,9 +95,10 @@ struct Options {
   std::string command;
   std::string dir;
   std::string out = ".";
+  std::string scenario = "paper-default";
   int stride = 8;
   int apps_stride = 10;
-  std::uint64_t seed = 42;
+  std::optional<std::uint64_t> seed;  // --seed: overrides the scenario's
   int jobs = 0;  // 0 = resolve from WHEELS_JOBS
   bool skip_apps = false;
   bool skip_static = false;
@@ -120,6 +126,8 @@ Options parse_options(int argc, char** argv) {
       o.dir = value();
     } else if (arg == "--out") {
       o.out = value();
+    } else if (arg == "--scenario") {
+      o.scenario = value();
     } else if (arg == "--stride") {
       o.stride = static_cast<int>(
           std::max(1L, parse_long_or_exit(value(), "--stride")));
@@ -149,18 +157,38 @@ Options parse_options(int argc, char** argv) {
   return o;
 }
 
+scenario::ScenarioSpec scenario_spec(const Options& o) {
+  try {
+    scenario::ScenarioSpec spec = scenario::load_scenario(o.scenario);
+    if (o.seed) spec.seed = *o.seed;
+    return spec;
+  } catch (const std::exception& e) {
+    std::cerr << "wheels_campaign: " << e.what() << "\n";
+    std::exit(2);
+  }
+}
+
 trip::CampaignConfig campaign_config(const Options& o) {
-  trip::CampaignConfig cfg;
-  cfg.seed = o.seed;
-  cfg.cycle_stride = o.stride;
-  return cfg;
+  return trip::CampaignConfig::from_scenario(scenario_spec(o), o.stride);
 }
 
 apps::AppCampaignConfig app_config(const Options& o) {
-  apps::AppCampaignConfig cfg;
-  cfg.seed = o.seed;
-  cfg.cycle_stride = o.apps_stride;
-  return cfg;
+  return apps::AppCampaignConfig::from_scenario(scenario_spec(o),
+                                                o.apps_stride);
+}
+
+// --- list-scenarios ---------------------------------------------------------
+
+int cmd_list_scenarios() {
+  TextTable t({"name", "waypoints", "description"});
+  for (const auto& spec : scenario::builtin_scenarios()) {
+    t.add_row({spec.name, std::to_string(spec.route.waypoints.size()),
+               spec.description});
+  }
+  t.print(std::cout);
+  std::cout << "pass --scenario NAME (or a path to a scenario JSON file) "
+               "to generate/export-csv\n";
+  return 0;
 }
 
 // --- generate ---------------------------------------------------------------
@@ -197,6 +225,7 @@ int cmd_generate(const Options& o) {
                     [&](std::size_t i) { work[i](); });
 
   std::cout << "dataset cache: " << provider.cache().dir() << "\n";
+  std::cout << "scenario: " << cfg.spec.name << "\n";
   const auto& res = provider.load_or_run(cfg);
   std::cout << "campaign (stride " << cfg.cycle_stride << "): "
             << res.for_op(ran::OperatorId::Verizon).kpi.size()
@@ -432,7 +461,7 @@ int cmd_export_csv(const Options& o) {
 
   std::cout << "wrote " << rows << " rows to " << o.out
             << "/{kpi,rtt,passive,tests,handovers}.csv (stride "
-            << cfg.cycle_stride << ", seed " << o.seed << ")\n";
+            << cfg.cycle_stride << ", seed " << cfg.seed << ")\n";
   return 0;
 }
 
@@ -448,6 +477,7 @@ int main(int argc, char** argv) {
   if (o.command == "generate") return cmd_generate(o);
   if (o.command == "info") return cmd_info(o);
   if (o.command == "export-csv") return cmd_export_csv(o);
+  if (o.command == "list-scenarios") return cmd_list_scenarios();
   std::cerr << "wheels_campaign: unknown command '" << o.command << "'\n";
   return usage(std::cerr, 2);
 }

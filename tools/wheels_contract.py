@@ -45,6 +45,10 @@ in the style of wheels_lint.py / wheels_arch.py:
   ctest-registration  a tests/test_*.{cpp,py} file that is not wired
                       into tests/CMakeLists.txt (a test that never runs
                       is a pin that never pins).
+  scenario-registry   a scenarios/*.json library file that does not
+                      parse, names a scenario twice, disagrees with its
+                      filename, or is missing from the README scenario
+                      table (--fix-docs regenerates the table).
 
 Usage:
   tools/wheels_contract.py [--root DIR] [--format text|json|sarif]
@@ -72,6 +76,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import sarif  # noqa: E402  (sibling module, shared with the other tools)
 
 REGISTRY_REL = "tools/contracts.json"
+SCENARIOS_DIR_REL = "scenarios"
 SERIALIZE_REL = "src/dataset/serialize.h"
 DRIVER_REL = "tools/run_static_analysis.sh"
 TESTS_DIR_REL = "tests"
@@ -124,6 +129,9 @@ RULES = {
         "CI driver stages/toggles disagree with the registry",
     "ctest-registration":
         "tests/test_* file not registered in tests/CMakeLists.txt",
+    "scenario-registry":
+        "scenarios/*.json fails to parse, duplicates a name, or is "
+        "missing from the README scenario table",
 }
 
 
@@ -278,7 +286,7 @@ def table_marker(name: str, which: str) -> str:
     return f"<!-- contract:{name}:{which} -->"
 
 
-def render_pins_table(reg: dict) -> list[str]:
+def render_pins_table(reg: dict, root: str) -> list[str]:
     golden = current_golden(reg) or {}
     return [
         "| Pin | Value |",
@@ -290,7 +298,7 @@ def render_pins_table(reg: dict) -> list[str]:
     ]
 
 
-def render_env_table(reg: dict) -> list[str]:
+def render_env_table(reg: dict, root: str) -> list[str]:
     lines = ["| Variable | Effect |", "|---|---|"]
     for var in reg.get("env_vars", []):
         if var.get("kind") != "runtime":
@@ -299,7 +307,7 @@ def render_env_table(reg: dict) -> list[str]:
     return lines
 
 
-def render_gates_table(reg: dict) -> list[str]:
+def render_gates_table(reg: dict, root: str) -> list[str]:
     lines = ["| Stage | Toggle | In `--quick` |", "|---|---|---|"]
     for stage in reg.get("ci_stages", []):
         quick = "yes" if stage.get("quick") else "no"
@@ -308,10 +316,41 @@ def render_gates_table(reg: dict) -> list[str]:
     return lines
 
 
+def scenario_docs(root: str) -> list[tuple[str, dict | None]]:
+    """(relpath, parsed-object-or-None) per scenarios/*.json, sorted by
+    filename; None marks a file that is not a JSON object."""
+    base = os.path.join(root, SCENARIOS_DIR_REL)
+    if not os.path.isdir(base):
+        return []
+    out: list[tuple[str, dict | None]] = []
+    for name in sorted(os.listdir(base)):
+        if not name.endswith(".json"):
+            continue
+        relpath = f"{SCENARIOS_DIR_REL}/{name}"
+        try:
+            doc = json.loads(read_text(root, relpath) or "")
+        except json.JSONDecodeError:
+            doc = None
+        out.append((relpath, doc if isinstance(doc, dict) else None))
+    return out
+
+
+def render_scenario_table(reg: dict, root: str) -> list[str]:
+    lines = ["| Scenario | File | Description |", "|---|---|---|"]
+    for relpath, doc in scenario_docs(root):
+        if doc is None:
+            continue  # the scenario-registry rule reports the parse failure
+        name = doc.get("name", "")
+        desc = " ".join(str(doc.get("description", "")).split())
+        lines.append(f"| `{name}` | `{relpath}` | {desc} |")
+    return lines
+
+
 TABLE_RENDERERS = {
     "contract-pins-table": render_pins_table,
     "contract-env-table": render_env_table,
     "contract-gates-table": render_gates_table,
+    "contract-scenario-table": render_scenario_table,
 }
 
 
@@ -366,7 +405,7 @@ def check_doc_tables(root: str, reg: dict) -> list[Finding]:
                     "tools/wheels_contract.py --fix-docs"))
             continue
         actual = [ln for ln in lines[b + 1:e] if ln.strip()]
-        expected = TABLE_RENDERERS[name](reg)
+        expected = TABLE_RENDERERS[name](reg, root)
         if actual != expected:
             findings.append(
                 Finding(
@@ -394,7 +433,7 @@ def fix_docs(root: str, reg: dict) -> list[str]:
             e = lines.index(end)
         except ValueError:
             continue
-        lines[b + 1:e] = TABLE_RENDERERS[name](reg)
+        lines[b + 1:e] = TABLE_RENDERERS[name](reg, root)
         fixed.append(name)
     with open(os.path.join(root, README_REL), "w", encoding="utf-8") as f:
         f.write("\n".join(lines) + "\n")
@@ -715,6 +754,75 @@ def check_ctest_registration(root: str) -> list[Finding]:
     return findings
 
 
+# --- scenario library --------------------------------------------------------
+
+
+def check_scenario_registry(root: str, reg: dict) -> list[Finding]:
+    """Every shipped scenarios/*.json must load (pure python json: a file
+    the C++ parser would need to accept), carry a unique name that matches
+    its filename, and appear in the generated README scenario table. A
+    repo without a scenarios/ directory is simply out of scope."""
+    findings = []
+    names: dict[str, str] = {}
+    for relpath, doc in scenario_docs(root):
+        if doc is None:
+            findings.append(
+                Finding(
+                    relpath, 1, "scenario-registry",
+                    "scenario file is not a JSON object; every shipped "
+                    "scenario must parse (wheels_campaign --scenario would "
+                    "reject it)"))
+            continue
+        name = doc.get("name")
+        if not isinstance(name, str) or not name:
+            findings.append(
+                Finding(
+                    relpath, 1, "scenario-registry",
+                    'scenario file lacks a non-empty "name" string'))
+            continue
+        stem = os.path.basename(relpath)[:-len(".json")]
+        if name != stem:
+            findings.append(
+                Finding(
+                    relpath, 1, "scenario-registry",
+                    f'scenario is named "{name}" but lives in {stem}.json; '
+                    "the filename stem and the name must agree so "
+                    "--scenario NAME and --scenario PATH load the same "
+                    "world"))
+        if name in names:
+            findings.append(
+                Finding(
+                    relpath, 1, "scenario-registry",
+                    f'scenario name "{name}" is already taken by '
+                    f"{names[name]}; names key the dataset cache and must "
+                    "be unique"))
+        else:
+            names[name] = relpath
+    tables = reg.get("generated", {}).get("readme_tables", [])
+    if not names or "contract-scenario-table" not in tables:
+        return findings
+    text = read_text(root, README_REL)
+    if text is None:
+        return findings
+    lines = text.splitlines()
+    begin = table_marker("contract-scenario-table", "begin")
+    end = table_marker("contract-scenario-table", "end")
+    try:
+        b, e = lines.index(begin), lines.index(end)
+    except ValueError:
+        return findings  # missing markers are doc-drift's finding
+    block = "\n".join(lines[b:e])
+    for name, relpath in sorted(names.items()):
+        if f"`{name}`" not in block:
+            findings.append(
+                Finding(
+                    README_REL, b + 1, "scenario-registry",
+                    f'scenario "{name}" ({relpath}) is missing from the '
+                    "README scenario table; run tools/wheels_contract.py "
+                    "--fix-docs"))
+    return findings
+
+
 # --- driver ------------------------------------------------------------------
 
 
@@ -797,9 +905,10 @@ def main(argv: list[str]) -> int:
         findings += check_spans(root, reg, reg_text, cpp_files)
         findings += check_ci_stages(root, reg, reg_text)
         findings += check_ctest_registration(root)
+        findings += check_scenario_registry(root, reg)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
-    files_scanned = len(cpp_files) + sum(
+    files_scanned = len(cpp_files) + len(scenario_docs(root)) + sum(
         1 for doc in DOC_SCAN if os.path.exists(os.path.join(root, doc)))
 
     if args.format == "json":

@@ -1,0 +1,95 @@
+// A/B microbenchmark of the batched replay kernel (DESIGN.md "Replay
+// kernel"): runs the same campaign twice from scratch -- once on the
+// original per-slot scalar path, once on the structure-of-arrays kernel --
+// and reports the replay-phase speedup. The two runs must produce
+// byte-identical datasets (the kernel is an execution knob, not a model
+// change); the bench exits non-zero if they ever diverge, so the CI smoke
+// stage doubles as an equivalence check.
+//
+// Usage: bench_replay_kernel [stride]   (default stride 64)
+// With WHEELS_BENCH_JSON=1 a machine-readable summary line lands on
+// stderr; stdout carries only the human table.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "bench_common.h"
+#include "dataset/serialize.h"
+#include "obs/metrics.h"
+#include "obs/runtime.h"
+#include "trip/campaign.h"
+
+namespace {
+
+using namespace wheels;
+
+long long counter_value(std::string_view metric) {
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const obs::MetricValue* mv = snap.find(metric);
+  return mv != nullptr ? static_cast<long long>(mv->value) : 0;
+}
+
+// Simulate one fresh campaign with the kernel forced on or off; returns
+// the encoded dataset bytes and the replay-phase wall time in ms (delta of
+// the cumulative campaign.replay_us counter, so back-to-back runs in one
+// process do not double-count).
+std::string run_once(const trip::CampaignConfig& cfg, bool kernel,
+                     long long& replay_ms) {
+  const long long before = counter_value("campaign.replay_us");
+  trip::Campaign campaign(cfg);
+  campaign.set_replay_kernel(kernel);
+  const std::string bytes = dataset::encode(campaign.run());
+  replay_ms = (counter_value("campaign.replay_us") - before) / 1000;
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::init_from_env();
+  const int stride = bench::stride_from(argc, argv, 64);
+  trip::CampaignConfig cfg;
+  cfg.seed = 42;
+  cfg.cycle_stride = stride;
+  const int jobs = resolve_jobs();
+
+  std::cout << "=== bench_replay_kernel: scalar vs batched replay ===\n"
+            << "(campaign stride " << stride << ", jobs " << jobs << ")\n\n";
+
+  long long scalar_ms = 0;
+  long long kernel_ms = 0;
+  const std::string scalar_bytes = run_once(cfg, /*kernel=*/false, scalar_ms);
+  const std::string kernel_bytes = run_once(cfg, /*kernel=*/true, kernel_ms);
+
+  const bool bytes_equal = scalar_bytes == kernel_bytes;
+  const double speedup = kernel_ms > 0 ? static_cast<double>(scalar_ms) /
+                                             static_cast<double>(kernel_ms)
+                                       : 0.0;
+
+  std::cout << "  scalar replay:  " << scalar_ms << " ms\n"
+            << "  batched replay: " << kernel_ms << " ms\n";
+  std::printf("  speedup:        %.2fx\n", speedup);
+  std::cout << "  dataset bytes:  "
+            << (bytes_equal ? "identical" : "DIVERGED") << " ("
+            << scalar_bytes.size() << " bytes)\n";
+
+  if (const char* env = std::getenv("WHEELS_BENCH_JSON");
+      env != nullptr && std::string_view(env) == "1") {
+    std::fprintf(stderr,
+                 "{\"bench\": \"replay_kernel\", \"stride\": %d, "
+                 "\"jobs\": %d, \"scalar_replay_ms\": %lld, "
+                 "\"kernel_replay_ms\": %lld, \"speedup\": %.3f, "
+                 "\"bytes_equal\": %s}\n",
+                 stride, jobs, scalar_ms, kernel_ms, speedup,
+                 bytes_equal ? "true" : "false");
+  }
+
+  if (!bytes_equal) {
+    std::cerr << "bench_replay_kernel: scalar and batched datasets differ\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "radio/fading.h"
 
 #include <cmath>
+#include <cstddef>
 
 namespace wheels::radio {
 
@@ -21,11 +22,24 @@ ShadowingProcess ShadowingProcess::for_tech(Rng rng, Tech t, Environment env) {
 
 Db ShadowingProcess::advance(Meters travelled) {
   // Gudmundson: rho = exp(-d / d_corr); X' = rho X + sqrt(1-rho^2) N(0,s).
-  const double rho = std::exp(-std::max(travelled.value, 0.0) /
-                              decorrelation_m_);
+  const double rho = rho_for(travelled.value);
   value_db_ = rho * value_db_ +
               std::sqrt(1.0 - rho * rho) * rng_.normal(0.0, sigma_db_);
   return Db{value_db_};
+}
+
+void ShadowingProcess::advance_span(std::span<const double> rho,
+                                    std::span<const double> noise_scale,
+                                    std::span<double> out) {
+  // Same recurrence as advance(), with rho and sqrt(1 - rho^2) supplied by
+  // the caller (noise_scale[i] must equal sqrt(1 - rho[i]^2) for the
+  // kernel equivalence tests to hold).
+  double v = value_db_;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    v = rho[i] * v + noise_scale[i] * rng_.normal(0.0, sigma_db_);
+    out[i] = v;
+  }
+  value_db_ = v;
 }
 
 FastFading::FastFading(Rng rng, Tech tech)

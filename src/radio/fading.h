@@ -11,6 +11,10 @@
 //    low-throughput tail the paper observes even under full coverage.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <span>
+
 #include "core/rng.h"
 #include "core/units.h"
 #include "radio/pathloss.h"
@@ -31,8 +35,24 @@ class ShadowingProcess {
   // Advance the process by `travelled` meters and return the new value.
   Db advance(Meters travelled);
 
+  // Batched advance for the replay kernel: one step per element of
+  // `rho`/`noise_scale` (precomputed per segment with rho_for()), writing
+  // each successive value (dB) to `out`. Bit-identical to calling
+  // advance() once per step: same recurrence, same rng_ draw order.
+  void advance_span(std::span<const double> rho,
+                    std::span<const double> noise_scale, std::span<double> out);
+
+  // The Gudmundson correlation factor for one step of `travelled` meters;
+  // advance() uses exactly this expression. Segments precompute rho (and
+  // sqrt(1 - rho^2)) once per decorrelation class and share it across the
+  // layers that use the same class.
+  [[nodiscard]] double rho_for(double travelled_m) const {
+    return std::exp(-std::max(travelled_m, 0.0) / decorrelation_m_);
+  }
+
   [[nodiscard]] Db current() const { return Db{value_db_}; }
   [[nodiscard]] double sigma_db() const { return sigma_db_; }
+  [[nodiscard]] double decorrelation_m() const { return decorrelation_m_; }
 
  private:
   Rng rng_;

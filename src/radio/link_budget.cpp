@@ -5,25 +5,27 @@
 #include "radio/band.h"
 
 namespace wheels::radio {
-namespace {
 
 // Per-resource-element transmit power: total CC power spread over the
 // occupied subcarriers (15 kHz LTE / 30+ kHz NR; we use the CC bandwidth
 // directly, which is equivalent up to a constant we calibrate away).
-Dbm per_re_power(const BandProfile& p) {
+Dbm per_re_power_dl(const BandProfile& p) {
   const double subcarriers = p.cc_bandwidth_dl.hz() / 15e3;
   return Dbm{p.tx_power_dl.value - 10.0 * std::log10(subcarriers)};
 }
 
-// Noise per resource element at the UE (15 kHz, 9 dB NF).
-constexpr Dbm kNoisePerRe{-174.0 + 41.76 + 9.0};  // ~ -123.2 dBm
-
-}  // namespace
+// UE transmits with full power over its UL allocation; model the
+// allocation as 1/6 of the CC, which boosts the per-Hz density ~9 dB --
+// uplink power control in disguise.
+Dbm per_re_power_ul(const BandProfile& p) {
+  const double subcarriers = p.cc_bandwidth_ul.hz() / 15e3 / 12.0;
+  return Dbm{p.tx_power_ul.value - 10.0 * std::log10(subcarriers)};
+}
 
 Dbm rsrp(const BandProfile& band, Environment env, Meters distance,
          const ChannelState& ch) {
   const Db pl = pathloss(band, env, distance);
-  return per_re_power(band) + band.antenna_gain_dl - pl - ch.shadowing -
+  return per_re_power_dl(band) + band.antenna_gain_dl - pl - ch.shadowing -
          ch.blockage_loss;
 }
 
@@ -47,13 +49,8 @@ Db sinr_downlink(Tech tech, Environment env, Meters distance,
 Db sinr_uplink(const BandProfile& p, Environment env, Meters distance,
                const ChannelState& ch, Db interference_margin) {
   const Db pl = pathloss(p, env, distance);
-  // UE transmits with full power over its UL allocation; BS antenna gain
-  // helps on receive. Model the allocation as 1/6 of the CC, which boosts
-  // the per-Hz density ~9 dB -- uplink power control in disguise.
-  const double subcarriers = p.cc_bandwidth_ul.hz() / 15e3 / 12.0;
-  const Dbm per_re_tx =
-      Dbm{p.tx_power_ul.value - 10.0 * std::log10(subcarriers)};
-  const Dbm rx = per_re_tx + p.antenna_gain_dl - pl - ch.shadowing -
+  // BS antenna gain helps on receive.
+  const Dbm rx = per_re_power_ul(p) + p.antenna_gain_dl - pl - ch.shadowing -
                  ch.blockage_loss + ch.fast_fading;
   return (rx - kNoisePerRe) - interference_margin;
 }

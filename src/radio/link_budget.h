@@ -15,6 +15,15 @@ struct ChannelState {
   Db blockage_loss{0.0};
 };
 
+// Noise per resource element at the receiver (15 kHz, 9 dB NF).
+inline constexpr Dbm kNoisePerRe{-174.0 + 41.76 + 9.0};  // ~ -123.2 dBm
+
+// Per-resource-element transmit powers: the band-constant terms of the
+// link budget, exposed so the batched replay kernel can hoist them per
+// segment. `rsrp` / `sinr_*` below are defined in terms of these.
+[[nodiscard]] Dbm per_re_power_dl(const BandProfile& p);
+[[nodiscard]] Dbm per_re_power_ul(const BandProfile& p);
+
 // Reference Signal Received Power: per-resource-element received power.
 // RSRP = per-RE transmit power + antenna gain - pathloss - shadowing -
 // blockage. Fast fading is averaged out by the UE's RSRP filter, so it is

@@ -24,6 +24,8 @@ double cqi_required_sinr(int cqi) {
 
 }  // namespace
 
+Db cqi_sinr_threshold(int cqi) { return Db{cqi_required_sinr(cqi)}; }
+
 int cqi_from_sinr(Db sinr) {
   int cqi = 0;
   for (int c = 1; c <= kMaxCqi; ++c) {

@@ -17,6 +17,11 @@ inline constexpr int kMaxMcs = 28;
 // CQI from SINR: highest CQI whose decode threshold is below the SINR.
 [[nodiscard]] int cqi_from_sinr(Db sinr);
 
+// SINR required to decode CQI index `cqi` (1..kMaxCqi): the boundary the
+// CQI selection compares against. Exposed so table-driven callers (the
+// batched replay kernel) build their thresholds from the same source.
+[[nodiscard]] Db cqi_sinr_threshold(int cqi);
+
 // Spectral efficiency (bits/s/Hz per layer) of a CQI index, per the 3GPP
 // 64-QAM CQI table. CQI 0 means out of range (efficiency 0).
 [[nodiscard]] double cqi_spectral_efficiency(int cqi);

@@ -6,12 +6,6 @@
 #include "radio/band.h"
 
 namespace wheels::radio {
-namespace {
-
-constexpr double kReferenceDistanceM = 10.0;
-
-}  // namespace
-
 Db free_space_pathloss(Meters d, MHz f) {
   const double dm = std::max(d.value, 1.0);
   // 20 log10(d_m) + 20 log10(f_MHz) + 32.45 (d in km form folded in).
@@ -53,10 +47,10 @@ double pathloss_exponent(Tech t, Environment env) {
 }
 
 Db pathloss(const BandProfile& band, Environment env, Meters distance) {
-  const Db pl0 = free_space_pathloss(Meters{kReferenceDistanceM}, band.carrier);
-  const double dm = std::max(distance.value, kReferenceDistanceM);
+  const Db pl0 = free_space_pathloss(Meters{kPathlossReferenceM}, band.carrier);
+  const double dm = std::max(distance.value, kPathlossReferenceM);
   const double n = pathloss_exponent(band.tech, env);
-  return Db{pl0.value + 10.0 * n * std::log10(dm / kReferenceDistanceM)};
+  return Db{pl0.value + 10.0 * n * std::log10(dm / kPathlossReferenceM)};
 }
 
 Db pathloss(Tech t, Environment env, Meters distance) {

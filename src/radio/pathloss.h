@@ -15,6 +15,11 @@ namespace wheels::radio {
 
 enum class Environment : std::uint8_t { Urban, Suburban, Rural };
 
+// Close-in reference distance d0 of the path-loss model. Exposed so the
+// batched replay kernel can hoist FSPL(d0, f) per band with the exact same
+// constant pathloss() uses.
+inline constexpr double kPathlossReferenceM = 10.0;
+
 // Free-space path loss at distance d and carrier frequency f.
 [[nodiscard]] Db free_space_pathloss(Meters d, MHz f);
 

@@ -6,19 +6,6 @@
 #include "radio/mcs.h"
 
 namespace wheels::radio {
-namespace {
-
-// Control/reference-signal overhead: fraction of symbols carrying data.
-constexpr double kOverhead = 0.75;
-
-// Scheduler backoff applied to the measured SINR before picking MCS.
-constexpr double kAdaptationBackoffDb = 1.0;
-
-// Each further aggregated carrier is a bit weaker than the primary
-// (different band, less favourable geometry).
-constexpr double kSecondaryCcPenaltyDb = 1.5;
-
-}  // namespace
 
 Mbps ue_peak_rate(Tech t, Direction d) {
   const bool dl = d == Direction::Downlink;
@@ -60,7 +47,7 @@ PhyRateResult compute_phy_rate(const BandProfile& p, Direction dir, Db sinr,
     const int mcs = mcs_from_cqi(cqi);
     const double b = bler(mcs, cc_sinr);
     const double se = mcs_spectral_efficiency(mcs);
-    bits_per_second += bw.hz() * se * layers * (1.0 - b) * kOverhead;
+    bits_per_second += bw.hz() * se * layers * (1.0 - b) * kPhyOverhead;
     if (cc == 0) {
       out.mcs = mcs;
       out.bler = b;

@@ -9,6 +9,16 @@ namespace wheels::radio {
 
 enum class Direction : std::uint8_t { Downlink, Uplink };
 
+// Link-adaptation constants, shared with the batched replay kernel so the
+// cached mirror in radio/kernel.cpp stays bit-identical by construction.
+// Control/reference-signal overhead: fraction of symbols carrying data.
+inline constexpr double kPhyOverhead = 0.75;
+// Scheduler backoff applied to the measured SINR before picking MCS.
+inline constexpr double kAdaptationBackoffDb = 1.0;
+// Each further aggregated carrier is a bit weaker than the primary
+// (different band, less favourable geometry).
+inline constexpr double kSecondaryCcPenaltyDb = 1.5;
+
 [[nodiscard]] constexpr std::string_view to_string(Direction d) {
   return d == Direction::Downlink ? "DL" : "UL";
 }

@@ -17,17 +17,6 @@ constexpr std::size_t idx(Tech t) { return static_cast<std::size_t>(t); }
 
 }  // namespace
 
-Meters Deployment::service_range(Tech tech, const OperatorProfile& profile) {
-  // A site serves up to ~0.9x the inter-site distance along the road
-  // (beyond that a neighbour would be serving, or it is a coverage edge).
-  return profile.deployment(tech).site_spacing * 0.9;
-}
-
-Meters Deployment::distance_to(const Cell& cell, Meters pos) {
-  const double dx = cell.route_pos.value - pos.value;
-  return Meters{std::hypot(dx, cell.lateral.value)};
-}
-
 Deployment Deployment::generate(const Corridor& corridor,
                                 const OperatorProfile& profile, Rng rng) {
   Deployment d;

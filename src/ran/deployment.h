@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -49,14 +50,24 @@ class Deployment {
   [[nodiscard]] const Cell* nearest_cell(radio::Tech tech, Meters pos) const;
 
   // 3-D-ish distance from `pos` to a cell (route delta + lateral offset).
-  [[nodiscard]] static Meters distance_to(const Cell& cell, Meters pos);
+  // Inline: this is evaluated a few times per simulation slot (serving
+  // link, handover evaluation, batched candidate sweep) and the hypot is
+  // the whole body.
+  [[nodiscard]] static Meters distance_to(const Cell& cell, Meters pos) {
+    const double dx = cell.route_pos.value - pos.value;
+    return Meters{std::hypot(dx, cell.lateral.value)};
+  }
 
   [[nodiscard]] std::span<const Cell> cells(radio::Tech tech) const;
   [[nodiscard]] std::size_t total_cells() const;
 
-  // Service range beyond which a cell of this layer is unusable.
+  // Service range beyond which a cell of this layer is unusable. A site
+  // serves up to ~0.9x the inter-site distance along the road (beyond
+  // that a neighbour would be serving, or it is a coverage edge).
   [[nodiscard]] static Meters service_range(radio::Tech tech,
-                                            const OperatorProfile& profile);
+                                            const OperatorProfile& profile) {
+    return profile.deployment(tech).site_spacing * 0.9;
+  }
 
  private:
   Deployment() = default;

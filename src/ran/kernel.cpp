@@ -1,0 +1,69 @@
+#include "ran/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wheels::ran {
+
+void SegmentBatch::resize(std::size_t n) {
+  pos_m.resize(n);
+  speed_mph.resize(n);
+  env.resize(n);
+  tz.resize(n);
+  for (Layer& layer : layers) {
+    layer.cell.resize(n);
+    layer.dist_m.resize(n);
+  }
+}
+
+void fill_nearest_cells(const Deployment& dep, const OperatorProfile& profile,
+                        SegmentBatch& b) {
+  const std::size_t n = b.size();
+  for (radio::Tech tech : radio::kAllTechs) {
+    auto& layer = b.layers[static_cast<std::size_t>(tech)];
+    const std::span<const Cell> cells = dep.cells(tech);
+    if (cells.empty()) {
+      std::fill(layer.cell.begin(), layer.cell.end(), nullptr);
+      std::fill(layer.dist_m.begin(), layer.dist_m.end(), 0.0);
+      continue;
+    }
+    const double range = Deployment::service_range(tech, profile).value;
+    std::size_t lo = 0;
+    double prev_pos = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pos = b.pos_m[i];
+      if (pos < prev_pos) lo = 0;  // backwards jump: restart the sweep
+      prev_pos = pos;
+      // Advance the window start exactly as nearest_cell's lower_bound
+      // would (same `route_pos < pos - range` predicate).
+      while (lo < cells.size() && cells[lo].route_pos.value < pos - range) {
+        ++lo;
+      }
+      const Cell* best = nullptr;
+      double best_d = 0.0;
+      for (std::size_t j = lo; j < cells.size(); ++j) {
+        const double dx = cells[j].route_pos.value - pos;
+        if (dx > range) break;
+        // hypot(dx, lateral) >= |dx| (hypot never rounds below an exact
+        // operand), so when |dx| >= best_d the strict `d < best_d` test
+        // cannot pass -- skip the hypot without changing the winner.
+        if (best != nullptr && std::fabs(dx) >= best_d) continue;
+        const double d = Deployment::distance_to(cells[j], Meters{pos}).value;
+        if (best == nullptr || d < best_d) {
+          best = &cells[j];
+          best_d = d;
+        }
+      }
+      if (best == nullptr || best_d > range) {
+        layer.cell[i] = nullptr;
+        layer.dist_m[i] = 0.0;
+      } else {
+        layer.cell[i] = best;
+        layer.dist_m[i] = best_d;
+      }
+    }
+  }
+}
+
+}  // namespace wheels::ran

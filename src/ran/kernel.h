@@ -1,0 +1,52 @@
+// Batched replay kernel, RAN half: the structure-of-arrays view of one
+// trajectory segment shared by every UE replaying it.
+//
+// A SegmentBatch hoists everything about a segment that does not depend on
+// UE state: per-slot position/speed, the pre-resolved environment and
+// timezone (recorded into the TrajectoryPoint at trajectory time, so the
+// batch needs zero Corridor lookups), and -- per technology layer -- the
+// nearest usable cell with its 2-D distance. Candidate cells are a pure
+// function of position, so one monotone sweep over the sorted cell list
+// replaces a binary search per slot per layer. Everything consuming RNG
+// (shadowing, fading, policy draws) stays owned by the UE; the batch is
+// read-only geometry.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/sim_time.h"
+#include "radio/pathloss.h"
+#include "radio/technology.h"
+#include "ran/deployment.h"
+#include "ran/operator_profile.h"
+
+namespace wheels::ran {
+
+struct SegmentBatch {
+  std::vector<double> pos_m;
+  std::vector<double> speed_mph;
+  std::vector<radio::Environment> env;
+  std::vector<TimeZone> tz;
+
+  struct Layer {
+    std::vector<const Cell*> cell;  // nearest usable cell, or nullptr
+    std::vector<double> dist_m;     // distance_to(*cell, pos); 0 when null
+  };
+  std::array<Layer, 5> layers{};  // indexed by Tech
+
+  [[nodiscard]] std::size_t size() const { return pos_m.size(); }
+  void resize(std::size_t n);
+};
+
+// Fill every layer's candidate-cell columns for the batch positions.
+// Produces, slot for slot, the exact cell pointer and distance that
+// Deployment::nearest_cell + distance_to would: same range cut, same scan
+// order, same strict-less tie-break. Positions are visited in order, so
+// the per-layer window start only moves forward (the sweep restarts if a
+// segment ever runs backwards).
+void fill_nearest_cells(const Deployment& dep, const OperatorProfile& profile,
+                        SegmentBatch& b);
+
+}  // namespace wheels::ran

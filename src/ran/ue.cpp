@@ -42,7 +42,8 @@ UeSimulator::UeSimulator(const Corridor& corridor,
       regime_(regime),
       blockage_(rng.fork("blockage"), Tech::NR_MMWAVE),
       fading_sub6_(rng.fork("fading-sub6"), Tech::NR_MID),
-      fading_mmwave_(rng.fork("fading-mmw"), Tech::NR_MMWAVE) {}
+      fading_mmwave_(rng.fork("fading-mmw"), Tech::NR_MMWAVE),
+      derived_(radio::derive_plan(plan)) {}
 
 void UeSimulator::set_traffic(TrafficProfile t) {
   if (t == traffic_) return;
@@ -63,11 +64,12 @@ void UeSimulator::clear_history() {
 }
 
 double UeSimulator::draw_cell_load(Environment env, SimTime now, Meters pos) {
+  (void)pos;
   // Identity regimes skip the scaling entirely so the paper-default draw
   // stays bit-identical (same arithmetic, same RNG consumption).
   double target = target_load(env);
   if (!regime_.is_identity()) {
-    const CivilTime civil = to_civil(now, corridor_.at(pos).tz);
+    const CivilTime civil = to_civil(now, slot_.tz);
     target = std::clamp(target * regime_.scale(civil.hour), 0.0, 1.0);
   }
   if (favourable_) {
@@ -92,33 +94,155 @@ double UeSimulator::target_load(Environment env) const {
   return 0.4;
 }
 
-Dbm UeSimulator::layer_rsrp(Tech tech, const Cell& cell, Meters pos,
+Dbm UeSimulator::layer_rsrp(Tech tech, const Cell& cell, double dist_m,
                             Environment env, Db shadow) const {
   radio::ChannelState ch;
   ch.shadowing = Db{shadow.value - cell.site_offset_db};
   if (tech == Tech::NR_MMWAVE) {
     ch.shadowing = ch.shadowing + profile_.mmwave_beam_penalty;
   }
-  return radio::rsrp(plan_.profile(tech), env,
-                     Deployment::distance_to(cell, pos), ch);
+  if (slot_.batch != nullptr) {
+    // Cached mirror of radio::rsrp: ((const - pl) - shadowing) - blockage,
+    // with blockage 0 here (RSRP excludes fast fading and blockage by
+    // construction of the callers).
+    const radio::BandDerived& bd = derived_.band(tech);
+    const double pl = radio::cached_pathloss_db(bd, env, dist_m);
+    return Dbm{(bd.rsrp_const_db - pl) - ch.shadowing.value};
+  }
+  return radio::rsrp(plan_.profile(tech), env, Meters{dist_m}, ch);
 }
 
-void UeSimulator::update_candidates(Meters pos, Meters travelled) {
-  const Environment env = corridor_.at(pos).env;
+double UeSimulator::candidate_distance(Tech tech, Meters pos) const {
+  if (slot_.batch != nullptr) {
+    return slot_.batch->layers[idx(tech)].dist_m[slot_.row];
+  }
+  return Deployment::distance_to(*layers_[idx(tech)]->candidate, pos).value;
+}
+
+double UeSimulator::serving_distance_m(Meters pos) const {
+  if (slot_.batch != nullptr) {
+    const auto& layer = slot_.batch->layers[idx(serving_tech_)];
+    if (layer.cell[slot_.row] == serving_cell_) {
+      return layer.dist_m[slot_.row];  // same hypot, computed by the sweep
+    }
+  }
+  return Deployment::distance_to(*serving_cell_, pos).value;
+}
+
+void UeSimulator::ensure_layers(Environment env) {
+  if (layers_ready_) return;
   for (Tech tech : radio::kAllTechs) {
     auto& layer = layers_[idx(tech)];
     if (!layer) {
       layer.emplace(LayerState{
           radio::ShadowingProcess::for_tech(
               rng_.fork(to_string(tech)).fork("shadow"), tech, env),
-          nullptr, Dbm{-160.0}});
+          nullptr});
     }
-    const Db shadow = layer->shadowing.advance(travelled);
-    layer->candidate = deployment_.nearest_cell(tech, pos);
-    layer->rsrp = layer->candidate
-                      ? layer_rsrp(tech, *layer->candidate, pos, env, shadow)
-                      : Dbm{-160.0};
   }
+  layers_ready_ = true;
+}
+
+void UeSimulator::begin_segment(const SegmentBatch& batch) {
+  shadow_prefilled_ = false;
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  ensure_layers(batch.env[0]);
+
+  // Per-slot travelled distance, from this UE's own last position -- the
+  // exact per-step deltas the scalar path would compute.
+  travelled_scratch_.resize(n);
+  travelled_scratch_[0] =
+      first_step_ ? 0.0 : batch.pos_m[0] - last_pos_.value;
+  for (std::size_t i = 1; i < n; ++i) {
+    travelled_scratch_[i] = batch.pos_m[i] - batch.pos_m[i - 1];
+  }
+
+  // rho and sqrt(1 - rho^2) depend only on the layer's decorrelation
+  // distance, so layers sharing a decorrelation class share the arrays
+  // (three classes across the five technologies).
+  std::array<std::size_t, 5> share{};
+  for (std::size_t i = 0; i < 5; ++i) {
+    share[i] = i;
+    const double d_i = layers_[i]->shadowing.decorrelation_m();
+    for (std::size_t j = 0; j < i; ++j) {
+      const double d_j = layers_[j]->shadowing.decorrelation_m();
+      if (!(d_i < d_j) && !(d_j < d_i)) {  // equal decorrelation
+        share[i] = j;
+        break;
+      }
+    }
+    if (share[i] == i) {
+      rho_rows_[i].resize(n);
+      noise_rows_[i].resize(n);
+      const radio::ShadowingProcess& sp = layers_[i]->shadowing;
+      for (std::size_t k = 0; k < n; ++k) {
+        const double rho = sp.rho_for(travelled_scratch_[k]);
+        rho_rows_[i][k] = rho;
+        noise_rows_[i][k] = std::sqrt(1.0 - rho * rho);
+      }
+    }
+  }
+  for (Tech tech : radio::kAllTechs) {
+    const std::size_t i = idx(tech);
+    shadow_rows_[i].resize(n);
+    layers_[i]->shadowing.advance_span(rho_rows_[share[i]],
+                                       noise_rows_[share[i]],
+                                       shadow_rows_[i]);
+  }
+  shadow_prefilled_ = true;
+}
+
+LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
+  const CorridorSegment& here = corridor_.at(pos);
+  slot_ = SlotContext{};
+  slot_.env = here.env;
+  slot_.tz = here.tz;
+
+  const Meters travelled =
+      first_step_ ? Meters{0.0} : Meters{pos.value - last_pos_.value};
+  last_pos_ = pos;
+  first_step_ = false;
+
+  ensure_layers(here.env);
+  for (Tech tech : radio::kAllTechs) {
+    auto& layer = layers_[idx(tech)];
+    slot_.shadow_db[idx(tech)] = layer->shadowing.advance(travelled).value;
+    layer->candidate = deployment_.nearest_cell(tech, pos);
+  }
+  return step_core(now, pos, speed, dt);
+}
+
+LinkSample UeSimulator::step(SimTime now, Millis dt, const SegmentBatch& batch,
+                             std::size_t row) {
+  slot_ = SlotContext{};
+  slot_.env = batch.env[row];
+  slot_.tz = batch.tz[row];
+  slot_.batch = &batch;
+  slot_.row = row;
+
+  const Meters pos{batch.pos_m[row]};
+  const Mph speed{batch.speed_mph[row]};
+  ensure_layers(batch.env[row]);
+  if (shadow_prefilled_) {
+    for (Tech tech : radio::kAllTechs) {
+      slot_.shadow_db[idx(tech)] = shadow_rows_[idx(tech)][row];
+    }
+  } else {
+    // Passive logger: no prefill, advance scalar on its own cadence.
+    const Meters travelled =
+        first_step_ ? Meters{0.0} : Meters{pos.value - last_pos_.value};
+    for (Tech tech : radio::kAllTechs) {
+      slot_.shadow_db[idx(tech)] =
+          layers_[idx(tech)]->shadowing.advance(travelled).value;
+    }
+  }
+  last_pos_ = pos;
+  first_step_ = false;
+  for (Tech tech : radio::kAllTechs) {
+    layers_[idx(tech)]->candidate = batch.layers[idx(tech)].cell[row];
+  }
+  return step_core(now, pos, speed, dt);
 }
 
 void UeSimulator::evaluate_policy(SimTime now, Meters pos, Mph speed) {
@@ -161,8 +285,8 @@ void UeSimulator::evaluate_policy(SimTime now, Meters pos, Mph speed) {
   // much more willing to promote.
   if (traffic_ != TrafficProfile::Idle) {
     const bool very_close =
-        (mmw && Deployment::distance_to(*mmw, pos).value < 120.0) ||
-        (mid && Deployment::distance_to(*mid, pos).value < 250.0);
+        (mmw && candidate_distance(Tech::NR_MMWAVE, pos) < 120.0) ||
+        (mid && candidate_distance(Tech::NR_MID, pos) < 250.0);
     if (very_close) {
       // Uplink promotion stays more conservative even next to the site.
       p_hs = std::max(
@@ -237,8 +361,7 @@ void UeSimulator::evaluate_policy(SimTime now, Meters pos, Mph speed) {
       serving_cell_ = pick_cell;
       connected_ = true;
       seen_cells_.push_back(pick_cell->id);
-      const Environment env = corridor_.at(pos).env;
-      load_ = load_target_ = draw_cell_load(env, now, pos);
+      load_ = load_target_ = draw_cell_load(slot_.env, now, pos);
     }
   }
   policy_initialized_ = true;
@@ -276,11 +399,10 @@ void UeSimulator::begin_handover(SimTime now, Meters pos, Tech to_tech,
   // New cell, new load conditions. An upgrade to 5G is not blind: the
   // network promotes UEs toward cells with spare capacity, so redraw once
   // if the first draw came up congested.
-  const Environment env = corridor_.at(pos).env;
-  load_ = load_target_ = draw_cell_load(env, now, pos);
+  load_ = load_target_ = draw_cell_load(slot_.env, now, pos);
   if (radio::is_5g(rec.to_tech) && !radio::is_5g(rec.from_tech) &&
       load_ > 0.8) {
-    load_ = load_target_ = draw_cell_load(env, now, pos);
+    load_ = load_target_ = draw_cell_load(slot_.env, now, pos);
   }
 }
 
@@ -289,8 +411,7 @@ void UeSimulator::maybe_start_handover(SimTime now, Meters pos, Millis dt) {
   auto& layer = layers_[idx(serving_tech_)];
   if (!layer) return;
 
-  const Environment env = corridor_.at(pos).env;
-  const Meters serving_dist = Deployment::distance_to(*serving_cell_, pos);
+  const Meters serving_dist{serving_distance_m(pos)};
   const Meters range = Deployment::service_range(serving_tech_, profile_);
 
   // Radio-link failure: serving cell left behind; snap to whatever the
@@ -315,11 +436,12 @@ void UeSimulator::maybe_start_handover(SimTime now, Meters pos, Millis dt) {
   // A3 event: neighbour better than serving by the offset, sustained for
   // the time-to-trigger. Measurement noise makes the comparison flicker,
   // which is the source of occasional ping-pong handovers.
-  const Db shadow = layer->shadowing.current();
-  const Dbm serving_rsrp =
-      layer_rsrp(serving_tech_, *serving_cell_, pos, env, shadow);
+  const Db shadow{slot_.shadow_db[idx(serving_tech_)]};
+  const Dbm serving_rsrp = layer_rsrp(serving_tech_, *serving_cell_,
+                                      serving_dist.value, slot_.env, shadow);
   const Dbm neigh_rsrp =
-      layer_rsrp(serving_tech_, *neighbour, pos, env, shadow);
+      layer_rsrp(serving_tech_, *neighbour,
+                 candidate_distance(serving_tech_, pos), slot_.env, shadow);
   const double noise_db =
       rng_.normal(0.0, profile_.handover.measurement_noise_db);
   const double advantage =
@@ -341,14 +463,8 @@ void UeSimulator::maybe_start_handover(SimTime now, Meters pos, Millis dt) {
   }
 }
 
-LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
-  const Meters travelled =
-      first_step_ ? Meters{0.0} : Meters{pos.value - last_pos_.value};
-  last_pos_ = pos;
-  first_step_ = false;
-
-  update_candidates(pos, travelled);
-
+LinkSample UeSimulator::step_core(SimTime now, Meters pos, Mph speed,
+                                  Millis dt) {
   // Coverage signature: which technology layers are usable here. The
   // serving decision is sticky -- it is only reconsidered when the
   // signature changes (a layer appeared/disappeared), the traffic context
@@ -366,7 +482,7 @@ LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
   }
   // Coverage lost for the serving technology: re-evaluate immediately.
   if (connected_ && serving_cell_) {
-    const Meters d = Deployment::distance_to(*serving_cell_, pos);
+    const Meters d{serving_distance_m(pos)};
     if (d.value >
         Deployment::service_range(serving_tech_, profile_).value * 1.2) {
       maybe_start_handover(now, pos, dt);
@@ -377,7 +493,7 @@ LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
   }
 
   // Serving-cell load drifts as an OU process.
-  const Environment env = corridor_.at(pos).env;
+  const Environment env = slot_.env;
   {
     // The load fluctuates around the cell's own character: a congested
     // cell stays congested for the whole dwell on it.
@@ -405,16 +521,17 @@ LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
   }
 
   const Tech tech = serving_tech_;
-  auto& layer = layers_[idx(tech)];
-  const Db shadow = layer->shadowing.current();
-  const Meters dist = Deployment::distance_to(*serving_cell_, pos);
+  const Db shadow{slot_.shadow_db[idx(tech)]};
+  const Meters dist{serving_distance_m(pos)};
 
   s.connected = true;
   s.tech = tech;
   s.cell = serving_cell_->id;
-  s.rsrp = layer_rsrp(tech, *serving_cell_, pos, env, shadow);
 
-  // Channel for SINR: shadowing + fast fading + blockage.
+  // Channel for SINR: shadowing + fast fading + blockage. (Built before
+  // the RSRP so the batched branch can share one path-loss evaluation;
+  // neither the channel construction nor the RSRP draws from the RNG, so
+  // the stream order is unchanged.)
   radio::ChannelState ch;
   ch.shadowing = Db{shadow.value - serving_cell_->site_offset_db +
                     (tech == Tech::NR_MMWAVE
@@ -436,18 +553,43 @@ LinkSample UeSimulator::step(SimTime now, Meters pos, Mph speed, Millis dt) {
   const double aging_db = std::min(9.0, 0.12 * speed.value);
   const Db margin_dl{2.0 + 22.0 * load_ + 9.0 * edge + aging_db};
   const Db margin_ul{1.0 + 7.0 * load_ + 5.0 * edge + aging_db};
-  const radio::BandProfile& band = plan_.profile(tech);
-  s.sinr_dl = radio::sinr_downlink(band, env, dist, ch, margin_dl);
-  s.sinr_ul = radio::sinr_uplink(band, env, dist, ch, margin_ul);
-
   // Downlink PRBs are contended by every user of the cell; the uplink is
   // typically emptier, so the backlogged UE keeps a larger share there.
   const double prb_dl = std::max(0.02, std::pow(1.0 - load_, 1.5));
   const double prb_ul = std::max(0.06, std::pow(1.0 - load_, 0.6));
-  const auto dl = radio::compute_phy_rate(band, Direction::Downlink,
-                                          s.sinr_dl, num_cc_dl_, prb_dl);
-  const auto ul = radio::compute_phy_rate(band, Direction::Uplink, s.sinr_ul,
-                                          num_cc_ul_, prb_ul);
+
+  radio::PhyRateResult dl;
+  radio::PhyRateResult ul;
+  if (slot_.batch != nullptr) {
+    // Cached mirrors: one hoisted path loss shared by the reported RSRP,
+    // RSRP-for-SINR and both SINR directions (the scalar path evaluates
+    // the identical expression four times), table-driven adaptation.
+    const radio::BandDerived& bd = derived_.band(tech);
+    const double pl = radio::cached_pathloss_db(bd, env, dist.value);
+    s.rsrp = Dbm{(bd.rsrp_const_db - pl) - ch.shadowing.value};
+    const double rsrp_sinr =
+        ((bd.rsrp_const_db - pl) - ch.shadowing.value) -
+        ch.blockage_loss.value;
+    const double rx_dl = rsrp_sinr + ch.fast_fading.value;
+    s.sinr_dl = Db{(rx_dl - radio::kNoisePerRe.value) - margin_dl.value};
+    const double rx_ul = (((bd.ul_const_db - pl) - ch.shadowing.value) -
+                          ch.blockage_loss.value) +
+                         ch.fast_fading.value;
+    s.sinr_ul = Db{(rx_ul - radio::kNoisePerRe.value) - margin_ul.value};
+    dl = radio::cached_phy_rate(derived_, bd, Direction::Downlink, s.sinr_dl,
+                                num_cc_dl_, prb_dl);
+    ul = radio::cached_phy_rate(derived_, bd, Direction::Uplink, s.sinr_ul,
+                                num_cc_ul_, prb_ul);
+  } else {
+    s.rsrp = layer_rsrp(tech, *serving_cell_, dist.value, env, shadow);
+    const radio::BandProfile& band = plan_.profile(tech);
+    s.sinr_dl = radio::sinr_downlink(band, env, dist, ch, margin_dl);
+    s.sinr_ul = radio::sinr_uplink(band, env, dist, ch, margin_ul);
+    dl = radio::compute_phy_rate(band, Direction::Downlink, s.sinr_dl,
+                                 num_cc_dl_, prb_dl);
+    ul = radio::compute_phy_rate(band, Direction::Uplink, s.sinr_ul,
+                                 num_cc_ul_, prb_ul);
+  }
   s.mcs_dl = dl.mcs;
   s.mcs_ul = ul.mcs;
   s.bler_dl = dl.bler;

@@ -17,8 +17,10 @@
 #include "core/units.h"
 #include "radio/band.h"
 #include "radio/fading.h"
+#include "radio/kernel.h"
 #include "radio/phy_rate.h"
 #include "ran/deployment.h"
+#include "ran/kernel.h"
 #include "ran/operator_profile.h"
 
 namespace wheels::ran {
@@ -91,6 +93,19 @@ class UeSimulator {
   // step and `speed` the current vehicle speed.
   LinkSample step(SimTime now, Meters pos, Mph speed, Millis dt);
 
+  // Batched replay. begin_segment() prefetches the per-layer shadowing
+  // rows for every slot of the batch (same recurrence, same per-stream RNG
+  // draw order as scalar stepping); the batched step() then consumes rows
+  // 0..size-1 in order, one step per row, with geometry, environment and
+  // candidate cells read from the batch instead of Corridor/Deployment
+  // lookups. Bit-identical to the scalar step() at the same
+  // position/speed/dt. A UE that steps a batch *without* begin_segment()
+  // (the passive logger, on its own cadence) advances shadowing scalar
+  // per call and only borrows the batch geometry.
+  void begin_segment(const SegmentBatch& batch);
+  LinkSample step(SimTime now, Millis dt, const SegmentBatch& batch,
+                  std::size_t row);
+
   [[nodiscard]] const std::vector<HandoverRecord>& handovers() const {
     return handovers_;
   }
@@ -109,13 +124,31 @@ class UeSimulator {
   struct LayerState {
     radio::ShadowingProcess shadowing;
     const Cell* candidate = nullptr;  // nearest usable cell this step
-    Dbm rsrp{-160.0};
   };
 
+  // Everything about the step in flight that used to be re-derived from
+  // Corridor/Deployment lookups. Valid for the duration of one step();
+  // `batch` selects the cached-constant math mirrors when non-null.
+  struct SlotContext {
+    radio::Environment env = radio::Environment::Rural;
+    TimeZone tz = TimeZone::Pacific;
+    const SegmentBatch* batch = nullptr;
+    std::size_t row = 0;
+    std::array<double, 5> shadow_db{};  // this step's shadowing, per layer
+  };
+
+  LinkSample step_core(SimTime now, Meters pos, Mph speed, Millis dt);
+  void ensure_layers(radio::Environment env);
   void evaluate_policy(SimTime now, Meters pos, Mph speed);
-  void update_candidates(Meters pos, Meters travelled);
-  [[nodiscard]] Dbm layer_rsrp(radio::Tech tech, const Cell& cell, Meters pos,
-                               radio::Environment env, Db shadow) const;
+  // Distance to the current candidate of `tech` (batch column when
+  // batched, Deployment::distance_to otherwise).
+  [[nodiscard]] double candidate_distance(radio::Tech tech, Meters pos) const;
+  // Distance to the serving cell; the batched path reuses the fill
+  // sweep's hypot whenever the serving cell is this row's candidate.
+  [[nodiscard]] double serving_distance_m(Meters pos) const;
+  [[nodiscard]] Dbm layer_rsrp(radio::Tech tech, const Cell& cell,
+                               double dist_m, radio::Environment env,
+                               Db shadow) const;
   void maybe_start_handover(SimTime now, Meters pos, Millis dt);
   void begin_handover(SimTime now, Meters pos, radio::Tech to_tech,
                       const Cell* to_cell);
@@ -163,6 +196,17 @@ class UeSimulator {
   Meters last_pos_{0.0};
   bool first_step_ = true;
   bool favourable_ = false;
+
+  // Batched-replay state. `derived_` hoists the plan's band constants and
+  // adaptation tables; the scratch rows are reused segment to segment.
+  radio::DerivedPlan derived_;
+  SlotContext slot_;
+  bool layers_ready_ = false;
+  bool shadow_prefilled_ = false;
+  std::array<std::vector<double>, 5> shadow_rows_;
+  std::array<std::vector<double>, 5> rho_rows_;
+  std::array<std::vector<double>, 5> noise_rows_;
+  std::vector<double> travelled_scratch_;
 
   std::vector<HandoverRecord> handovers_;
   std::vector<CellId> seen_cells_;  // sorted-unique on query

@@ -13,6 +13,7 @@
 #include "obs/trace.h"
 #include "radio/phy_rate.h"
 #include "ran/scenario_profiles.h"
+#include "trip/replay_kernel.h"
 
 namespace wheels::trip {
 namespace {
@@ -94,6 +95,7 @@ struct Campaign::PhoneSet {
   Rng rng;
   Millis passive_step_accum{0.0};
   Millis passive_log_accum{0.0};
+  ReplayScratch scratch;  // batch + sample buffers, reused per segment
 
   PhoneSet(OperatorId op_, const ran::Corridor& corridor,
            const ran::Deployment& dep, const ran::OperatorProfile& profile,
@@ -115,7 +117,8 @@ Campaign::Campaign(CampaignConfig cfg)
       regime_(ran::regime_from_spec(cfg_.spec.load_regime)),
       servers_(edge_sites_from(route_)),
       trip_(route_, corridor_, rng_.fork("trip"), cfg_.drive),
-      jobs_(resolve_jobs()) {
+      jobs_(resolve_jobs()),
+      use_kernel_(replay_kernel_enabled_from_env()) {
   // Roster slot i realizes operators[i] (validate() pins the roster to
   // exactly 3). Fork labels are the roster names: paper-default names the
   // real operators, so the streams match the pre-scenario engine exactly.
@@ -141,16 +144,29 @@ const ran::Deployment& Campaign::deployment(OperatorId op) const {
 
 void Campaign::set_jobs(int jobs) { jobs_ = resolve_jobs(jobs); }
 
-void Campaign::step_passive(PhoneSet& ph, const TrajectoryPoint& pt,
-                            Millis dt) {
+const ran::SegmentBatch* Campaign::maybe_batch(PhoneSet& ph,
+                                               const Trajectory& traj,
+                                               const TrajectorySegment& seg) {
+  if (!use_kernel_ || seg.end <= seg.begin) return nullptr;
+  const auto i = static_cast<std::size_t>(ph.op);
+  prepare_segment_batch(traj, seg, *deployments_[i], profiles_[i],
+                        ph.scratch.batch);
+  ph.test_ue.begin_segment(ph.scratch.batch);
+  return &ph.scratch.batch;
+}
+
+void Campaign::step_passive(PhoneSet& ph, const TrajectoryPoint& pt, Millis dt,
+                            const ran::SegmentBatch* batch, std::size_t row) {
   // The passive phone samples coarsely (its ping cadence is 200 ms) and
   // logs a technology record every second.
   ph.passive_step_accum += dt;
   ph.passive_log_accum += dt;
   if (ph.passive_step_accum.value >= 200.0) {
     const auto link =
-        ph.passive_ue.step(pt.time, pt.position, pt.speed,
-                           ph.passive_step_accum);
+        batch != nullptr
+            ? ph.passive_ue.step(pt.time, ph.passive_step_accum, *batch, row)
+            : ph.passive_ue.step(pt.time, pt.position, pt.speed,
+                                 ph.passive_step_accum);
     ph.passive_step_accum = Millis{0.0};
     if (ph.passive_log_accum.value >= 1'000.0) {
       ph.passive_log_accum = Millis{0.0};
@@ -190,7 +206,12 @@ void Campaign::replay_bulk(PhoneSet& ph, const Trajectory& traj,
   const auto server = servers_.select(ph.op, seg.start.position, seg.start.tz);
   const std::size_t ho_base = ph.test_ue.handovers().size();
   std::size_t ho_window_base = ho_base;
-  std::vector<double> window_tputs;
+  // Scratch reuse: one 500 ms window per ~25 slots, so seg.end - seg.begin
+  // bounds the sample count; no per-segment reallocation once warm.
+  std::vector<double>& window_tputs = ph.scratch.window_tputs;
+  window_tputs.clear();
+  window_tputs.reserve(seg.end - seg.begin);
+  const ran::SegmentBatch* batch = maybe_batch(ph, traj, seg);
   WindowAccum w;
   int hs5g_slots = 0;
   int total_slots = 0;
@@ -232,10 +253,12 @@ void Campaign::replay_bulk(PhoneSet& ph, const Trajectory& traj,
   for (std::size_t j = seg.begin; j < seg.end; ++j) {
     const TrajectoryPoint& pt = traj.points[j];
     window_elapsed += seg.slot;
-    step_passive(ph, pt, seg.slot);
+    step_passive(ph, pt, seg.slot, batch, j - seg.begin);
 
-    const auto link = ph.test_ue.step(pt.time, pt.position, pt.speed,
-                                      seg.slot);
+    const auto link =
+        batch != nullptr
+            ? ph.test_ue.step(pt.time, seg.slot, *batch, j - seg.begin)
+            : ph.test_ue.step(pt.time, pt.position, pt.speed, seg.slot);
     const Millis base_rtt =
         link.air_latency * 2.0 + server.one_way_delay * 2.0;
     const double bytes = ph.flow.step(seg.slot, link.phy_rate(dir), base_rtt);
@@ -296,16 +319,21 @@ void Campaign::replay_rtt(PhoneSet& ph, const Trajectory& traj,
   const auto server = servers_.select(ph.op, seg.start.position, seg.start.tz);
   const std::size_t ho_base = ph.test_ue.handovers().size();
   Millis since_ping{1e9};
-  std::vector<double> rtts;
+  std::vector<double>& rtts = ph.scratch.rtts;
+  rtts.clear();
+  rtts.reserve(seg.end - seg.begin);
+  const ran::SegmentBatch* batch = maybe_batch(ph, traj, seg);
   int hs5g_slots = 0;
   int total_slots = 0;
 
   for (std::size_t j = seg.begin; j < seg.end; ++j) {
     const TrajectoryPoint& pt = traj.points[j];
-    step_passive(ph, pt, seg.slot);
+    step_passive(ph, pt, seg.slot, batch, j - seg.begin);
 
-    const auto link = ph.test_ue.step(pt.time, pt.position, pt.speed,
-                                      seg.slot);
+    const auto link =
+        batch != nullptr
+            ? ph.test_ue.step(pt.time, seg.slot, *batch, j - seg.begin)
+            : ph.test_ue.step(pt.time, pt.position, pt.speed, seg.slot);
     ++total_slots;
     if (link.connected && radio::is_high_speed(link.tech)) ++hs5g_slots;
     since_ping += seg.slot;
@@ -357,10 +385,15 @@ void Campaign::replay_rtt(PhoneSet& ph, const Trajectory& traj,
 void Campaign::replay_idle(PhoneSet& ph, const Trajectory& traj,
                            const TrajectorySegment& seg) {
   ph.test_ue.set_traffic(ran::TrafficProfile::Idle);
+  const ran::SegmentBatch* batch = maybe_batch(ph, traj, seg);
   for (std::size_t j = seg.begin; j < seg.end; ++j) {
     const TrajectoryPoint& pt = traj.points[j];
-    step_passive(ph, pt, seg.slot);
-    ph.test_ue.step(pt.time, pt.position, pt.speed, seg.slot);
+    step_passive(ph, pt, seg.slot, batch, j - seg.begin);
+    if (batch != nullptr) {
+      ph.test_ue.step(pt.time, seg.slot, *batch, j - seg.begin);
+    } else {
+      ph.test_ue.step(pt.time, pt.position, pt.speed, seg.slot);
+    }
   }
 }
 

@@ -22,6 +22,7 @@
 #include "net/tcp_cubic.h"
 #include "ran/corridor.h"
 #include "ran/deployment.h"
+#include "ran/kernel.h"
 #include "ran/ue.h"
 #include "scenario/spec.h"
 #include "trip/records.h"
@@ -112,6 +113,14 @@ class Campaign {
   void set_jobs(int jobs);
   [[nodiscard]] int jobs() const { return jobs_; }
 
+  // Select the batched structure-of-arrays replay kernel (the default) or
+  // the original per-slot scalar path. Like the jobs count this is an
+  // execution knob: both paths produce byte-identical results (pinned by
+  // tests/test_replay_kernel.cpp). Resolved from WHEELS_REPLAY_KERNEL at
+  // construction; call before run().
+  void set_replay_kernel(bool enabled) { use_kernel_ = enabled; }
+  [[nodiscard]] bool replay_kernel() const { return use_kernel_; }
+
   [[nodiscard]] const Route& route() const { return route_; }
   [[nodiscard]] const ran::Corridor& corridor() const { return corridor_; }
   [[nodiscard]] const ran::Deployment& deployment(ran::OperatorId op) const;
@@ -126,7 +135,15 @@ class Campaign {
                   const TrajectorySegment& seg);
   void replay_idle(PhoneSet& ph, const Trajectory& traj,
                    const TrajectorySegment& seg);
-  void step_passive(PhoneSet& ph, const TrajectoryPoint& pt, Millis dt);
+  // `batch`/`row`, when given, route the passive UE through the batched
+  // step (geometry from the segment batch instead of per-slot lookups).
+  void step_passive(PhoneSet& ph, const TrajectoryPoint& pt, Millis dt,
+                    const ran::SegmentBatch* batch, std::size_t row);
+  // Prepare the scratch batch for `seg` if the kernel is enabled and the
+  // segment is non-empty; returns the batch to replay with, or nullptr
+  // for the scalar path.
+  const ran::SegmentBatch* maybe_batch(PhoneSet& ph, const Trajectory& traj,
+                                       const TrajectorySegment& seg);
 
   CampaignConfig cfg_;
   Rng rng_;
@@ -142,6 +159,7 @@ class Campaign {
   std::vector<std::unique_ptr<PhoneSet>> phones_;
   CampaignResult result_;
   int jobs_ = 1;
+  bool use_kernel_ = true;  // ctor resolves WHEELS_REPLAY_KERNEL
   std::mutex run_mu_;
   bool ran_ = false;
 };

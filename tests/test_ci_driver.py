@@ -29,6 +29,7 @@ HEAVY_STAGES_OFF = {
     "WHEELS_CI_SANITIZE": "0",
     "WHEELS_CI_TSAN": "0",
     "WHEELS_CI_TIDY": "0",
+    "WHEELS_CI_KERNEL": "0",
 }
 
 
@@ -122,6 +123,33 @@ class ContractStage(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("golden-pin", out)
         self.assertIn("static analysis FAILED", out)
+
+
+class KernelStage(unittest.TestCase):
+    """The replay-kernel bench smoke stage: a member of --quick,
+    toggleable via WHEELS_CI_KERNEL (off in HEAVY_STAGES_OFF above, so
+    the other cases never pay for a campaign build)."""
+
+    def test_kernel_stage_runs_under_quick(self):
+        # Re-enable just this stage; it builds bench_replay_kernel and
+        # runs one sparse-stride scalar/batched A/B for real.
+        code, out = run_driver(
+            "--quick",
+            extra_env={
+                "WHEELS_CI_LINT": "0",
+                "WHEELS_CI_ARCH": "0",
+                "WHEELS_CI_CONTRACT": "0",
+                "WHEELS_CI_KERNEL": "1",
+            })
+        self.assertEqual(code, 0, out)
+        self.assertIn("replay-kernel bench smoke", out)
+        self.assertIn('"bytes_equal": true', out)
+
+    def test_toggle_disables_the_stage(self):
+        code, out = run_driver(
+            "--quick", extra_env={"WHEELS_CI_KERNEL": "0"})
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("replay-kernel bench smoke", out)
 
 
 class StageToggles(unittest.TestCase):

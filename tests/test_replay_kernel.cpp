@@ -1,0 +1,166 @@
+// Equivalence proofs for the batched replay kernel.
+//
+// Two layers of evidence that WHEELS_REPLAY_KERNEL is an execution knob
+// and not a model change: (1) unit sweeps pin every derived table and
+// cached mirror in src/radio/kernel.* to the scalar function it was
+// hoisted from, including the exact CQI/MCS decision boundaries; (2)
+// whole-campaign runs over every library scenario must produce
+// byte-identical datasets with the kernel on and off, and (kernel on)
+// across jobs counts -- the paper-default run additionally re-proves the
+// golden seed-42 stride-64 checksum.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "contract_pins.h"
+#include "dataset/serialize.h"
+#include "radio/band.h"
+#include "radio/kernel.h"
+#include "radio/mcs.h"
+#include "radio/pathloss.h"
+#include "radio/phy_rate.h"
+#include "scenario/spec.h"
+#include "trip/campaign.h"
+
+namespace wheels::radio {
+namespace {
+
+TEST(ReplayKernelTable, CqiTableMatchesScalarAtBoundaries) {
+  const DerivedPlan dp = derive_plan(default_band_plan());
+  // Exactly at, just below and just above every decode threshold: the
+  // counting lookup and the scalar max-scan must agree on the >= edge.
+  for (int c = 1; c <= kMaxCqi; ++c) {
+    const double t = cqi_sinr_threshold(c).value;
+    for (double s : {t - 1e-9, t, t + 1e-9}) {
+      EXPECT_EQ(cqi_from_sinr_table(dp, s), cqi_from_sinr(Db{s}))
+          << "cqi " << c << " sinr " << s;
+    }
+  }
+  // Dense sweep across and beyond the table's range.
+  for (double s = -30.0; s <= 60.0; s += 0.0625) {
+    ASSERT_EQ(cqi_from_sinr_table(dp, s), cqi_from_sinr(Db{s})) << s;
+  }
+}
+
+TEST(ReplayKernelTable, McsTablesMatchScalar) {
+  const DerivedPlan dp = derive_plan(default_band_plan());
+  for (int c = 0; c <= kMaxCqi; ++c) {
+    EXPECT_EQ(dp.mcs_for_cqi[static_cast<std::size_t>(c)], mcs_from_cqi(c));
+  }
+  for (int m = 0; m <= kMaxMcs; ++m) {
+    EXPECT_EQ(dp.mcs_efficiency[static_cast<std::size_t>(m)],
+              mcs_spectral_efficiency(m));
+    EXPECT_EQ(dp.mcs_threshold_db[static_cast<std::size_t>(m)],
+              mcs_sinr_threshold(m).value);
+  }
+}
+
+TEST(ReplayKernelTable, PathlossMatchesScalar) {
+  const DerivedPlan dp = derive_plan(default_band_plan());
+  for (Tech tech : kAllTechs) {
+    const BandProfile& band = default_band_plan().profile(tech);
+    const BandDerived& bd = dp.band(tech);
+    for (Environment env :
+         {Environment::Urban, Environment::Suburban, Environment::Rural}) {
+      // Includes distances below the clamp reference.
+      for (double d = 1.0; d <= 30'000.0; d *= 1.37) {
+        ASSERT_EQ(cached_pathloss_db(bd, env, d),
+                  pathloss(band, env, Meters{d}).value)
+            << to_string(tech) << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(ReplayKernelTable, PhyRateMatchesScalar) {
+  const DerivedPlan dp = derive_plan(default_band_plan());
+  for (Tech tech : kAllTechs) {
+    const BandProfile& band = default_band_plan().profile(tech);
+    const BandDerived& bd = dp.band(tech);
+    for (Direction dir : {Direction::Downlink, Direction::Uplink}) {
+      for (int cc = 1; cc <= 4; ++cc) {
+        for (double prb : {0.02, 0.3, 1.0}) {
+          for (double s = -12.0; s <= 35.0; s += 0.13) {
+            const PhyRateResult a =
+                compute_phy_rate(band, dir, Db{s}, cc, prb);
+            const PhyRateResult b =
+                cached_phy_rate(dp, bd, dir, Db{s}, cc, prb);
+            ASSERT_EQ(a.rate.value, b.rate.value)
+                << to_string(tech) << " sinr " << s << " cc " << cc;
+            ASSERT_EQ(a.mcs, b.mcs);
+            ASSERT_EQ(a.bler, b.bler);
+            ASSERT_EQ(a.num_cc, b.num_cc);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wheels::radio
+
+namespace wheels::trip {
+namespace {
+
+std::string campaign_bytes(const scenario::ScenarioSpec& spec, int stride,
+                           bool kernel, int jobs) {
+  Campaign c(CampaignConfig::from_scenario(spec, stride));
+  c.set_replay_kernel(kernel);
+  c.set_jobs(jobs);
+  return dataset::encode(c.run());
+}
+
+void expect_kernel_matches_scalar(const std::string& name, int stride) {
+  const scenario::ScenarioSpec spec = scenario::load_scenario(name);
+  const std::string scalar = campaign_bytes(spec, stride, false, 1);
+  const std::string kernel = campaign_bytes(spec, stride, true, 1);
+  ASSERT_EQ(scalar.size(), kernel.size()) << name;
+  EXPECT_TRUE(scalar == kernel)
+      << "scenario " << name
+      << " diverged between the scalar and batched replay paths";
+}
+
+TEST(ReplayKernel, PaperDefaultMatchesScalarAndGolden) {
+  const scenario::ScenarioSpec spec = scenario::paper_default();
+  const std::string scalar =
+      campaign_bytes(spec, contract::kGoldenStride, false, 1);
+  const std::string kernel =
+      campaign_bytes(spec, contract::kGoldenStride, true, 1);
+  EXPECT_TRUE(scalar == kernel)
+      << "paper-default diverged between scalar and batched replay";
+  EXPECT_EQ(dataset::fnv1a(kernel), contract::kGoldenCampaignChecksum);
+}
+
+TEST(ReplayKernel, UrbanLoopMatchesScalar) {
+  expect_kernel_matches_scalar("urban-loop", 16);
+}
+
+TEST(ReplayKernel, CommuterCorridorMatchesScalar) {
+  expect_kernel_matches_scalar("commuter-corridor", 32);
+}
+
+TEST(ReplayKernel, HighwayConvoyMatchesScalar) {
+  expect_kernel_matches_scalar("highway-convoy", 64);
+}
+
+TEST(ReplayKernel, EuBandPlanMatchesScalar) {
+  expect_kernel_matches_scalar("eu-band-plan", 32);
+}
+
+TEST(ReplayKernel, DegradedCoverageStormMatchesScalar) {
+  expect_kernel_matches_scalar("degraded-coverage-storm", 32);
+}
+
+TEST(ReplayKernel, MatchesAcrossJobs) {
+  // Kernel on, jobs 1 vs 4: the batched path must stay independent of the
+  // worker count (the tsan-parallel preset runs this under ThreadSanitizer).
+  const scenario::ScenarioSpec spec = scenario::load_scenario("urban-loop");
+  const std::string jobs1 = campaign_bytes(spec, 16, true, 1);
+  const std::string jobs4 = campaign_bytes(spec, 16, true, 4);
+  EXPECT_TRUE(jobs1 == jobs4)
+      << "batched replay diverged between jobs=1 and jobs=4";
+}
+
+}  // namespace
+}  // namespace wheels::trip

@@ -28,6 +28,10 @@
 #                        stage); consumes build/compile_commands.json
 #                        exported by the default preset so local and CI
 #                        invocations analyze identical command lines
+#  12. replay-kernel     bench_replay_kernel A/B at a sparse stride: the
+#                        batched and scalar replay paths must produce
+#                        byte-identical datasets (the bench exits non-zero
+#                        on divergence); timing JSON line on stderr
 #
 # Usage: tools/run_static_analysis.sh [--quick]
 #   --quick     skip the sanitizer ctest runs (stages 9-10)
@@ -35,7 +39,8 @@
 # Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_ARCH=0, WHEELS_CI_CONTRACT=0,
 #              WHEELS_CI_DATASET=0, WHEELS_CI_SCENARIO=0, WHEELS_CI_TRACE=0,
 #              WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0, WHEELS_CI_SANITIZE=0,
-#              WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0, WHEELS_CI_JOBS=<n>
+#              WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0, WHEELS_CI_KERNEL=0,
+#              WHEELS_CI_JOBS=<n>
 # Test hooks:  WHEELS_CI_LINT_ROOT=<dir> lints that tree instead of the
 #              repo, WHEELS_CI_CONTRACT_ROOT=<dir> likewise for the
 #              contract check (used by tests/test_ci_driver.py to inject
@@ -259,6 +264,23 @@ print("\n".join(files))
     fi
   else
     echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  fi
+fi
+
+# --- Stage 12: replay-kernel bench smoke -------------------------------------
+# One sparse-stride A/B of the batched replay kernel against the original
+# scalar path. The bench itself enforces the equivalence contract (exit 1
+# when the two datasets differ), so this doubles as a cheap end-to-end
+# determinism gate; the JSON timing line lands in the CI log for trend
+# spotting.
+if [[ "${WHEELS_CI_KERNEL:-1}" == 1 ]]; then
+  banner "replay-kernel bench smoke (scalar vs batched A/B)"
+  cmake --preset default >/dev/null
+  if cmake --build --preset default -j "$JOBS" --target bench_replay_kernel; then
+    WHEELS_BENCH_JSON=1 ./build/bench/bench_replay_kernel 256 \
+      || FAILURES=$((FAILURES + 1))
+  else
+    FAILURES=$((FAILURES + 1))
   fi
 fi
 

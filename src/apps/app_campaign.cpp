@@ -87,13 +87,16 @@ const AppCampaignResult& AppCampaign::run() {
     const scenario::OperatorSpec& ospec = cfg_.spec.operators[oi];
     const ran::OperatorProfile profile = ran::profile_from_spec(ospec, op);
     const ran::Deployment dep = ran::Deployment::generate(
+        // wheels-rng: dynamic(one deployment stream per operator name)
         corridor, profile, rng.fork(ospec.name));
     // Same trip seed for every operator: the phones share the car.
     trip::TripSimulator trip(route, corridor, rng.fork("trip"), cfg_.drive);
     ran::UeSimulator ue(corridor, dep, profile,
+                        // wheels-rng: dynamic(per-operator UE stream)
                         rng.fork(ospec.name).fork("app-ue"),
                         ran::TrafficProfile::Interactive, cfg_.spec.bands,
                         regime);
+    // wheels-rng: dynamic(per-operator app-session stream)
     Rng app_rng = rng.fork(ospec.name).fork("apps");
 
     LinkEnv env;
@@ -146,6 +149,7 @@ const AppCampaignResult& AppCampaign::run() {
           const std::size_t ho_base = ue.handovers().size();
           const auto cfg = is_ar ? ar_config(compression)
                                  : cav_config(compression);
+          // wheels-rng: dynamic(disjoint salt per cycle/app/compression)
           const auto r = run_offload(cfg, env, app_rng.fork(cycle * 8 +
                                                             (is_ar ? 0 : 2) +
                                                             compression));
@@ -176,6 +180,7 @@ const AppCampaignResult& AppCampaign::run() {
         auto rec = begin_record(AppKind::Gaming, false);
         const std::size_t ho_base = ue.handovers().size();
         const auto r =
+            // wheels-rng: dynamic(gaming slot 7 of the per-cycle salt block)
             run_gaming(GamingConfig{}, env, app_rng.fork(cycle * 8 + 7));
         rec.gaming_bitrate_mbps = r.median_bitrate_mbps;
         rec.gaming_latency_ms = r.mean_latency_ms;
@@ -204,7 +209,9 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
       cfg_.spec.operators[static_cast<std::size_t>(op)];
   const ran::OperatorProfile profile = ran::profile_from_spec(ospec, op);
   const ran::Deployment dep =
+      // wheels-rng: dynamic(one deployment stream per operator name)
       ran::Deployment::generate(corridor, profile, rng.fork(ospec.name));
+  // wheels-rng: dynamic(per-operator static-baseline stream)
   Rng srng = rng.fork(ospec.name).fork("static-apps");
 
   for (const auto& city : route.cities()) {
@@ -226,6 +233,7 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
     const Meters pos = site->route_pos;
     const TimeZone tz = corridor.at(pos).tz;
     const auto ep = servers.select(op, pos, tz);
+    // wheels-rng: dynamic(per-city UE stream for the static baseline)
     ran::UeSimulator ue(corridor, dep, profile, srng.fork(city.name),
                         ran::TrafficProfile::Interactive, cfg_.spec.bands,
                         regime);
@@ -264,6 +272,7 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
           const auto cfg =
               is_ar ? ar_config(compression) : cav_config(compression);
           const auto r =
+              // wheels-rng: dynamic(per-city stream, disjoint salt per rep/app)
               run_offload(cfg, env, srng.fork(city.name).fork(rep * 8 + 2 *
                                                               is_ar +
                                                               compression));
@@ -283,6 +292,7 @@ std::vector<AppRunRecord> AppCampaign::run_static_baseline(OperatorId op) {
       if (mix.gaming) {
         auto rec = make_record(AppKind::Gaming, false);
         const auto r = run_gaming(GamingConfig{}, env,
+                                  // wheels-rng: dynamic(per-city gaming rep, offset past the offload salt block)
                                   srng.fork(city.name).fork(100 + rep));
         rec.gaming_bitrate_mbps = r.median_bitrate_mbps;
         rec.gaming_latency_ms = r.mean_latency_ms;

@@ -1,5 +1,6 @@
 #include "core/rng.h"
 
+#include <atomic>
 #include <cmath>
 #include <numbers>
 
@@ -20,7 +21,17 @@ std::uint64_t fnv1a(std::string_view s) {
   return h;
 }
 
+std::atomic<const RngHooks*> g_rng_hooks{nullptr};
+
 }  // namespace
+
+void set_rng_hooks(const RngHooks* hooks) {
+  g_rng_hooks.store(hooks, std::memory_order_release);
+}
+
+const RngHooks* rng_hooks() {
+  return g_rng_hooks.load(std::memory_order_acquire);
+}
 
 std::uint64_t splitmix64(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
@@ -29,19 +40,41 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-Rng::Rng(std::uint64_t seed) {
+void Rng::init_state(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
+  // Stream fingerprint: a fixed mix of the initial state words. Copies
+  // share it (copying duplicates a stream, it does not create one), and it
+  // never changes as the generator advances.
+  id_ = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
 }
 
-Rng Rng::fork(std::uint64_t salt) const {
+Rng::Rng(std::uint64_t seed) {
+  init_state(seed);
+  if (const RngHooks* h = rng_hooks(); h && h->on_seed) {
+    h->on_seed(id_, seed);
+  }
+}
+
+Rng::Rng(std::uint64_t seed, NoHook) { init_state(seed); }
+
+Rng Rng::fork_impl(std::uint64_t salt, const char* label,
+                   std::size_t label_len) const {
   // Mix the four state words with the salt through SplitMix64 to obtain a
   // decorrelated child seed without advancing this generator.
   std::uint64_t sm = s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 31) ^ s_[3] ^ salt;
-  return Rng(splitmix64(sm));
+  Rng child(splitmix64(sm), NoHook{});
+  if (const RngHooks* h = rng_hooks(); h && h->on_fork) {
+    h->on_fork(id_, child.id_, salt, label, label_len);
+  }
+  return child;
 }
 
-Rng Rng::fork(std::string_view label) const { return fork(fnv1a(label)); }
+Rng Rng::fork(std::uint64_t salt) const { return fork_impl(salt, nullptr, 0); }
+
+Rng Rng::fork(std::string_view label) const {
+  return fork_impl(fnv1a(label), label.data(), label.size());
+}
 
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
@@ -52,6 +85,10 @@ std::uint64_t Rng::next_u64() {
   s_[0] ^= s_[3];
   s_[2] ^= t;
   s_[3] = rotl(s_[3], 45);
+  if (const RngHooks* h = g_rng_hooks.load(std::memory_order_relaxed);
+      h && h->on_draw) {
+    h->on_draw(id_);
+  }
   return result;
 }
 

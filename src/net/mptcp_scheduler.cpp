@@ -13,7 +13,7 @@ MptcpConnection::MptcpConnection(Rng rng, std::size_t subflows,
   }
   flows_.reserve(subflows);
   for (std::size_t i = 0; i < subflows; ++i) {
-    flows_.emplace_back(rng.fork(i));
+    flows_.emplace_back(rng.fork(i));  // wheels-rng: dynamic(one stream per subflow index)
   }
 }
 
@@ -78,6 +78,7 @@ BondedRunResult run_bonded(
   // subscription over the same inputs.
   std::vector<CubicFlow> singles;
   for (std::size_t i = 0; i < n_sub; ++i) {
+    // wheels-rng: dynamic(one stream per single-path flow index)
     singles.emplace_back(rng.fork("single").fork(i));
   }
 

@@ -1,0 +1,56 @@
+// Runtime RNG provenance audit: the dynamic half of tools/wheels_rng.py.
+//
+// When enabled (WHEELS_RNG_AUDIT=1 or programmatically), core's RngHooks
+// are pointed at a process-wide recorder that aggregates, per stream
+// fingerprint (Rng::stream_id), how the stream came to exist (seeded or
+// forked, from which parent, with which salt/label) and how many base
+// draws it consumed. The recorder is observational only -- it never
+// touches generator state -- so arming it cannot change campaign bytes,
+// and draw counts are summed with commutative relaxed atomics so they are
+// identical for every WHEELS_JOBS value.
+//
+// The JSONL snapshot (one object per stream, sorted by id) is what
+// `wheels_rng.py --check-trace` validates against the static fork graph:
+// every runtime fork edge must exist in the whole-program graph, no two
+// distinct (parent, salt) pairs may map to one child id, and two traces
+// (jobs=1 vs jobs=4) must agree stream-for-stream on draw counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wheels::obs {
+
+// Aggregated per-stream statistics. `id` keys the runtime fork tree;
+// copies of one Rng share an id, so their draws accumulate into one row.
+struct RngStreamStat {
+  std::uint64_t id = 0;
+  bool has_parent = false;   // false for seed-constructed roots
+  std::uint64_t parent = 0;
+  std::uint64_t salt = 0;    // fork salt (fnv1a(label) for labelled forks)
+  bool has_label = false;
+  std::string label;
+  std::uint64_t seeds = 0;     // direct seed-constructions observed
+  std::uint64_t forks = 0;     // times produced by fork() (repeats allowed)
+  std::uint64_t draws = 0;     // base draws consumed across all copies
+  std::uint64_t conflicts = 0; // provenance conflicts (see .cpp)
+};
+
+// Install (or remove) the audit hooks. Enable before campaign threads
+// exist; disabling mid-draw is not synchronized. Idempotent.
+void set_rng_audit_enabled(bool on);
+[[nodiscard]] bool rng_audit_enabled();
+
+// Drop all recorded streams (the enabled state is kept). Must not race
+// with in-flight draws; intended for tests that compare two runs.
+void reset_rng_audit();
+
+// Copy out the recorded streams, sorted by id (deterministic).
+[[nodiscard]] std::vector<RngStreamStat> rng_audit_snapshot();
+
+// One JSON object per stream, newline-terminated, in snapshot order.
+[[nodiscard]] std::string rng_audit_to_jsonl(
+    const std::vector<RngStreamStat>& stats);
+
+}  // namespace wheels::obs

@@ -10,6 +10,7 @@
 #include "core/thread_pool.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/rng_audit.h"
 #include "obs/trace.h"
 
 namespace wheels::obs {
@@ -19,6 +20,7 @@ struct ExportState {
   std::mutex mu;
   std::string metrics_path;
   std::string trace_path;
+  std::string rng_audit_path;
   bool atexit_registered = false;
 };
 
@@ -91,6 +93,7 @@ void ensure_atexit_locked(ExportState& s) {
   if (s.atexit_registered) return;
   (void)Registry::global();
   (void)trace_events();
+  (void)rng_audit_enabled();
   (void)std::atexit(&flush_at_exit);
   s.atexit_registered = true;
 }
@@ -112,6 +115,10 @@ void init_from_env() {
     set_metrics_export_path(std::move(path));
   if (env_path(std::getenv("WHEELS_TRACE"), path))
     set_trace_export_path(std::move(path));
+  if (env_path(std::getenv("WHEELS_RNG_AUDIT"), path))
+    set_rng_audit_enabled(true);
+  if (env_path(std::getenv("WHEELS_RNG_AUDIT_OUT"), path))
+    set_rng_audit_export_path(std::move(path));
 }
 
 void set_metrics_export_path(std::string path) {
@@ -131,6 +138,17 @@ void set_trace_export_path(std::string path) {
   if (!s.trace_path.empty()) ensure_atexit_locked(s);
 }
 
+void set_rng_audit_export_path(std::string path) {
+  install_thread_pool_hooks();
+  ExportState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  s.rng_audit_path = std::move(path);
+  if (!s.rng_audit_path.empty()) {
+    set_rng_audit_enabled(true);
+    ensure_atexit_locked(s);
+  }
+}
+
 std::string metrics_export_path() {
   ExportState& s = state();
   const std::lock_guard<std::mutex> lock(s.mu);
@@ -143,14 +161,22 @@ std::string trace_export_path() {
   return s.trace_path;
 }
 
+std::string rng_audit_export_path() {
+  ExportState& s = state();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return s.rng_audit_path;
+}
+
 bool flush_exports() {
   std::string metrics_path;
   std::string trace_path;
+  std::string rng_audit_path;
   {
     ExportState& s = state();
     const std::lock_guard<std::mutex> lock(s.mu);
     metrics_path = s.metrics_path;
     trace_path = s.trace_path;
+    rng_audit_path = s.rng_audit_path;
   }
   bool ok = true;
   if (!metrics_path.empty()) {
@@ -165,6 +191,14 @@ bool flush_exports() {
     if (!write_file(trace_path, trace_events_to_chrome_json())) {
       std::fprintf(stderr, "obs: failed to write trace to %s\n",
                    trace_path.c_str());
+      ok = false;
+    }
+  }
+  if (!rng_audit_path.empty()) {
+    if (!write_file(rng_audit_path,
+                    rng_audit_to_jsonl(rng_audit_snapshot()))) {
+      std::fprintf(stderr, "obs: failed to write rng audit to %s\n",
+                   rng_audit_path.c_str());
       ok = false;
     }
   }

@@ -3,8 +3,11 @@
 //
 // Exporters are off by default. WHEELS_METRICS=<path> arms the JSON-lines
 // metrics snapshot, WHEELS_TRACE=<path> arms the Chrome trace_event file
-// (empty or "0" keeps an exporter off). Tools can arm the same exporters
-// programmatically (--metrics / --trace) without touching the environment.
+// (empty or "0" keeps an exporter off). WHEELS_RNG_AUDIT=1 enables the RNG
+// provenance recorder and WHEELS_RNG_AUDIT_OUT=<path> additionally writes
+// its JSONL fork tree at exit (setting only _OUT implies the recorder).
+// Tools can arm the same exporters programmatically without touching the
+// environment.
 #pragma once
 
 #include <string>
@@ -21,9 +24,13 @@ void init_from_env();
 // thread-pool hooks and the atexit flush, like init_from_env().
 void set_metrics_export_path(std::string path);
 void set_trace_export_path(std::string path);
+// Arming the RNG-audit exporter also enables the audit recorder (see
+// obs/rng_audit.h); the JSONL fork-tree snapshot is written at flush.
+void set_rng_audit_export_path(std::string path);
 
 [[nodiscard]] std::string metrics_export_path();
 [[nodiscard]] std::string trace_export_path();
+[[nodiscard]] std::string rng_audit_export_path();
 
 // Write every armed export now (overwriting the files). Returns false if
 // any armed export failed to write; disarmed exporters are skipped and

@@ -24,6 +24,7 @@ Deployment Deployment::generate(const Corridor& corridor,
   CellId next_id = 1;
 
   for (Tech tech : radio::kAllTechs) {
+    // wheels-rng: dynamic(one placement stream per radio tech)
     Rng layer_rng = rng.fork(to_string(tech));
     auto& cells = d.by_tech_[idx(tech)];
     const TechDeployment& td = profile.deployment(tech);

@@ -136,6 +136,7 @@ void UeSimulator::ensure_layers(Environment env) {
     if (!layer) {
       layer.emplace(LayerState{
           radio::ShadowingProcess::for_tech(
+              // wheels-rng: dynamic(per-tech shadowing stream)
               rng_.fork(to_string(tech)).fork("shadow"), tech, env),
           nullptr});
     }

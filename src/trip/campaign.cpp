@@ -128,9 +128,11 @@ Campaign::Campaign(CampaignConfig cfg)
     profiles_[i] = ran::profile_from_spec(ospec, op);
     deployments_[i] = std::make_unique<ran::Deployment>(
         ran::Deployment::generate(corridor_, profiles_[i],
+                                  // wheels-rng: dynamic(one deployment stream per operator name)
                                   rng_.fork(ospec.name)));
     phones_.push_back(std::make_unique<PhoneSet>(
         op, corridor_, *deployments_[i], profiles_[i], cfg_.spec.bands,
+        // wheels-rng: dynamic(per-operator phone-set stream)
         regime_, rng_.fork(ospec.name).fork("ue")));
     result_.logs[i].op = op;
   }
@@ -473,6 +475,7 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
   out.op = op;
   const auto& dep = deployment(op);
   const auto& profile = profiles_[static_cast<std::size_t>(op)];
+  // wheels-rng: dynamic(per-operator static-baseline stream)
   const Rng base = rng_.fork("static").fork(op_name);
 
   struct CityRun {
@@ -515,7 +518,7 @@ StaticBaseline Campaign::run_static_baseline(OperatorId op) {
 
     // Every stream this city consumes forks from its own label so cities
     // never race (or depend) on one another's draws.
-    const Rng city_rng = base.fork(city.name);
+    const Rng city_rng = base.fork(city.name);  // wheels-rng: dynamic(one stream per city)
     ran::UeSimulator ue(corridor_, dep, profile, city_rng,
                         ran::TrafficProfile::BackloggedDl, cfg_.spec.bands,
                         regime_);

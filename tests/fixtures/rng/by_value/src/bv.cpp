@@ -1,0 +1,22 @@
+// Fixture: live streams duplicated by value -- a pass-by-value whose
+// stream is used again afterwards, and a plain copy-initialization.
+#include "core/rng.h"
+
+namespace wheels {
+
+struct Config {
+  unsigned long long seed = 1;
+};
+
+void consume(Rng stream);
+
+void drive(const Config& cfg) {
+  Rng root(cfg.seed);
+  Rng trip = root.fork("trip");
+  consume(trip);
+  (void)trip.next_u64();
+  Rng dup = trip;
+  (void)dup.next_u64();
+}
+
+}  // namespace wheels

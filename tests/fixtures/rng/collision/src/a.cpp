@@ -1,0 +1,10 @@
+#include "a.h"
+
+namespace wheels {
+
+void A::run() {
+  Rng clash = rng_.fork("clash");
+  (void)clash.next_u64();
+}
+
+}  // namespace wheels

@@ -1,0 +1,19 @@
+// Fixture: two translation units fork the same label off one seeded
+// member stream -- a whole-program fork collision no lexical rule sees.
+#pragma once
+
+#include "core/rng.h"
+
+namespace wheels {
+
+class A {
+ public:
+  explicit A(unsigned long long seed) : rng_(seed + 1) {}
+  void run();
+  void poll();
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace wheels

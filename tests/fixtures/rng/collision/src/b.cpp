@@ -1,0 +1,11 @@
+#include "a.h"
+
+namespace wheels {
+
+void A::poll() {
+  // Same (parent, salt) as A::run in a.cpp: bit-identical streams.
+  Rng clash = rng_.fork("clash");
+  (void)clash.next_u64();
+}
+
+}  // namespace wheels

@@ -1,0 +1,17 @@
+// Fixture: the code forks "current" but the pinned manifest still
+// records "old" -- the drift rule must flag both directions.
+#include "core/rng.h"
+
+namespace wheels {
+
+struct Config {
+  unsigned long long seed = 1;
+};
+
+void drive(const Config& cfg) {
+  Rng root(cfg.seed);
+  Rng stream = root.fork("current");
+  (void)stream.next_u64();
+}
+
+}  // namespace wheels

@@ -1,0 +1,23 @@
+// Clean whole-program RNG usage: every stochastic process forks a
+// labelled (or declared-dynamic) child of one seed root, and streams
+// are handed to sinks as fresh forks, never duplicated.
+#include "sim.h"
+
+namespace wheels {
+
+void consume(Rng stream);
+
+void drive(const Config& cfg) {
+  Rng root(cfg.seed);
+  Rng trip = root.fork("trip");
+  (void)trip.next_u64();
+  Rng slot = root.fork(7);
+  (void)slot.next_u64();
+  for (int city = 0; city < 3; ++city) {
+    // wheels-rng: dynamic(one independent stream per city index)
+    Rng city_rng = root.fork("city").fork(static_cast<unsigned>(city));
+    consume(city_rng.fork("sink"));
+  }
+}
+
+}  // namespace wheels

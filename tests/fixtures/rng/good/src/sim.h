@@ -1,0 +1,25 @@
+// Clean RNG provenance: one seeded member root, labelled forks only.
+#pragma once
+
+#include "core/rng.h"
+
+namespace wheels {
+
+struct Config {
+  unsigned long long seed = 42;
+};
+
+class Sim {
+ public:
+  explicit Sim(const Config& cfg) : rng_(cfg.seed) {}
+
+  void step() {
+    Rng fading = rng_.fork("fading");
+    (void)fading.next_u64();
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace wheels

@@ -1,0 +1,22 @@
+// Fixture: draws inside iteration over an unordered container -- the
+// draw sequence follows the hash order, not a deterministic order.
+#include <unordered_map>
+
+#include "core/rng.h"
+
+namespace wheels {
+
+struct Config {
+  unsigned long long seed = 1;
+};
+
+void walk(const Config& cfg) {
+  Rng rng(cfg.seed);
+  std::unordered_map<int, int> cells;
+  for (const auto& cell : cells) {
+    (void)cell;
+    (void)rng.next_u64();
+  }
+}
+
+}  // namespace wheels

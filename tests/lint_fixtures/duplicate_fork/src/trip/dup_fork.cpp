@@ -45,3 +45,20 @@ void good_in_string(Rng& rng) {
   Rng a = rng.fork("cell");
   (void)doc;
 }
+
+void bad_int_salt(Rng& rng) {
+  Rng a = rng.fork(7);
+  // Different spelling, same numeric salt: must fire like the labels do.
+  Rng b = rng.fork(0x7);
+}
+
+void good_distinct_salts(Rng& rng) {
+  Rng a = rng.fork(1'000);
+  Rng b = rng.fork(1'001);
+}
+
+void good_label_vs_salt(Rng& rng) {
+  // fnv1a("7") != 7: a label spelled like a number is a different salt.
+  Rng a = rng.fork("7");
+  Rng b = rng.fork(7);
+}

@@ -2,12 +2,14 @@
 """Exit-code contract tests for tools/run_static_analysis.sh.
 
 The heavy stages (dataset CLI, scenario smoke, trace validation, header
-selfcheck, werror/sanitizer builds, clang-tidy) are env-disabled so every
+selfcheck, werror/sanitizer builds, clang-tidy, gcc-fanalyzer, the RNG
+provenance stage) are env-disabled so every
 case here finishes in seconds; what's under test is the driver itself: stage toggles, --quick,
 unknown-flag rejection, and failure propagation from a stage into the
 script's exit status (injected via the WHEELS_CI_LINT_ROOT /
-WHEELS_CI_CONTRACT_ROOT test hooks, which point the full-repo lint or
-contract check at a known-violating fixture tree).
+WHEELS_CI_CONTRACT_ROOT / WHEELS_CI_RNG_ROOT test hooks, which point the
+full-repo lint, contract or RNG provenance check at a known-violating
+fixture tree).
 
 Run directly (python3 tests/test_ci_driver.py) or via ctest.
 """
@@ -21,6 +23,8 @@ REPO_ROOT = os.path.dirname(TESTS_DIR)
 DRIVER = os.path.join(REPO_ROOT, "tools", "run_static_analysis.sh")
 
 HEAVY_STAGES_OFF = {
+    "WHEELS_CI_RNG": "0",
+    "WHEELS_CI_FANALYZER": "0",
     "WHEELS_CI_DATASET": "0",
     "WHEELS_CI_SCENARIO": "0",
     "WHEELS_CI_TRACE": "0",
@@ -123,6 +127,73 @@ class ContractStage(unittest.TestCase):
         self.assertEqual(code, 1, out)
         self.assertIn("golden-pin", out)
         self.assertIn("static analysis FAILED", out)
+
+
+class RngStage(unittest.TestCase):
+    """The wheels-rng stage: a member of --quick (static half only; the
+    runtime audit cross-check runs outside --quick), toggleable via
+    WHEELS_CI_RNG, failure-injectable via WHEELS_CI_RNG_ROOT."""
+
+    def test_rng_stage_runs_under_quick(self):
+        code, out = run_driver(
+            "--quick",
+            extra_env={
+                "WHEELS_CI_LINT": "0",
+                "WHEELS_CI_ARCH": "0",
+                "WHEELS_CI_CONTRACT": "0",
+                "WHEELS_CI_RNG": "1",
+            })
+        self.assertEqual(code, 0, out)
+        self.assertIn("wheels-rng: rule self-tests", out)
+        self.assertIn("wheels-rng: full repo", out)
+        # The campaign-generating cross-check is not a --quick member.
+        self.assertNotIn("runtime audit cross-check", out)
+
+    def test_toggle_disables_the_stage(self):
+        code, out = run_driver("--quick")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("wheels-rng", out)
+
+    def test_rng_failure_fails_the_driver(self):
+        # Point the provenance check at the cross-TU collision fixture;
+        # the stage must fail and the driver must exit 1.
+        bad_root = os.path.join(TESTS_DIR, "fixtures", "rng", "collision")
+        code, out = run_driver(
+            "--quick",
+            extra_env={
+                "WHEELS_CI_LINT": "0",
+                "WHEELS_CI_ARCH": "0",
+                "WHEELS_CI_CONTRACT": "0",
+                "WHEELS_CI_RNG": "1",
+                "WHEELS_CI_RNG_ROOT": bad_root,
+            })
+        self.assertEqual(code, 1, out)
+        self.assertIn("fork-collision", out)
+        self.assertIn("static analysis FAILED", out)
+
+
+class FanalyzerStage(unittest.TestCase):
+    """The gcc -fanalyzer stage: best-effort (runs when the toolchain
+    accepts -fanalyzer on C++, otherwise skips with a notice) and
+    toggleable via WHEELS_CI_FANALYZER."""
+
+    def test_stage_runs_or_skips_with_notice(self):
+        code, out = run_driver(
+            "--quick",
+            extra_env={
+                "WHEELS_CI_LINT": "0",
+                "WHEELS_CI_ARCH": "0",
+                "WHEELS_CI_CONTRACT": "0",
+                "WHEELS_CI_FANALYZER": "1",
+            })
+        self.assertEqual(code, 0, out)
+        self.assertTrue("gcc -fanalyzer: OK" in out
+                        or "unsupported on this toolchain" in out, out)
+
+    def test_toggle_disables_the_stage(self):
+        code, out = run_driver("--quick")
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("gcc -fanalyzer", out)
 
 
 class KernelStage(unittest.TestCase):

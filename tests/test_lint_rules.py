@@ -157,12 +157,18 @@ class DuplicateFork(unittest.TestCase):
         self.assertIn("dup_fork.cpp:11", out)
         self.assertIn('"cell"', out)
 
-    def test_compliant_variants_stay_quiet(self):
-        # Exactly one finding: distinct labels, other scopes, other
-        # parents, computed labels, chained forks and string mentions are
-        # all allowed.
+    def test_repeated_integer_salt_fires(self):
+        # 0x7 and 7 are the same salt whatever the spelling.
         _, out = run_lint("duplicate_fork")
-        self.assertEqual(out.count("duplicate-fork"), 1, out)
+        self.assertIn("dup_fork.cpp:52", out)
+        self.assertIn("salt 0x7", out)
+
+    def test_compliant_variants_stay_quiet(self):
+        # Exactly two findings: distinct labels/salts, other scopes, other
+        # parents, computed labels, chained forks, string mentions and a
+        # label spelled like a number are all allowed.
+        _, out = run_lint("duplicate_fork")
+        self.assertEqual(out.count("duplicate-fork"), 2, out)
 
 
 class StaticLocal(unittest.TestCase):

@@ -8,42 +8,54 @@
 #   3. wheels-contract   cross-artifact determinism-pin analyzer
 #                        (tools/contracts.json vs code, tests, docs, CI)
 #                        + its own rule tests
-#   4. dataset CLI       wheels_campaign smoke (argument validation, info
+#   4. wheels-rng        whole-program RNG fork-graph analyzer (collisions,
+#                        by-value stream copies, pinned-graph drift) + its
+#                        rule tests; outside --quick also generates the
+#                        stride-64 campaign at jobs=1 and jobs=4 with the
+#                        runtime audit armed and cross-checks both JSONL
+#                        fork trees against the static graph
+#   5. dataset CLI       wheels_campaign smoke (argument validation, info
 #                        on an empty cache; no simulation)
-#   5. scenario smoke    the scenario library loads (list-scenarios), one
+#   6. scenario smoke    the scenario library loads (list-scenarios), one
 #                        non-default scenario generates at a sparse
 #                        stride, unknown scenario names are rejected
-#   6. trace validation  stride-64 bench with WHEELS_TRACE into a fresh
+#   7. trace validation  stride-64 bench with WHEELS_TRACE into a fresh
 #                        cache dir; the emitted Chrome trace must parse,
 #                        nest monotonically per thread and cover the
 #                        registry's required_span_prefixes
 #                        (tools/validate_trace.py --contracts)
-#   7. header selfcheck  one synthetic TU per src/**/*.h compiled under
+#   8. header selfcheck  one synthetic TU per src/**/*.h compiled under
 #                        the werror flag set (header self-sufficiency)
-#   8. werror build      expanded warning set promoted to errors
-#   9. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
-#  10. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
+#   9. werror build      expanded warning set promoted to errors
+#  10. asan-ubsan build  full ctest suite under ASan+UBSan, zero reports
+#  11. tsan-parallel     thread-pool + determinism tests with WHEELS_JOBS=4
 #                        under ThreadSanitizer (the parallel replay path)
-#  11. clang-tidy        only when clang-tidy is installed (optional
+#  12. clang-tidy        only when clang-tidy is installed (optional
 #                        stage); consumes build/compile_commands.json
 #                        exported by the default preset so local and CI
 #                        invocations analyze identical command lines
-#  12. replay-kernel     bench_replay_kernel A/B at a sparse stride: the
+#  13. gcc-fanalyzer     only when the toolchain's g++ accepts -fanalyzer
+#                        on C++ (optional stage); path-sensitive analysis
+#                        over src/core/ with the default include dirs
+#  14. replay-kernel     bench_replay_kernel A/B at a sparse stride: the
 #                        batched and scalar replay paths must produce
 #                        byte-identical datasets (the bench exits non-zero
 #                        on divergence); timing JSON line on stderr
 #
 # Usage: tools/run_static_analysis.sh [--quick]
-#   --quick     skip the sanitizer ctest runs (stages 9-10)
+#   --quick     skip the sanitizer ctest runs (stages 10-11) and the
+#               rng audit cross-check portion of stage 4
 #
 # Env toggles: WHEELS_CI_LINT=0, WHEELS_CI_ARCH=0, WHEELS_CI_CONTRACT=0,
-#              WHEELS_CI_DATASET=0, WHEELS_CI_SCENARIO=0, WHEELS_CI_TRACE=0,
-#              WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0, WHEELS_CI_SANITIZE=0,
-#              WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0, WHEELS_CI_KERNEL=0,
-#              WHEELS_CI_JOBS=<n>
+#              WHEELS_CI_RNG=0, WHEELS_CI_DATASET=0, WHEELS_CI_SCENARIO=0,
+#              WHEELS_CI_TRACE=0, WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0,
+#              WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0,
+#              WHEELS_CI_FANALYZER=0, WHEELS_CI_KERNEL=0, WHEELS_CI_JOBS=<n>
 # Test hooks:  WHEELS_CI_LINT_ROOT=<dir> lints that tree instead of the
 #              repo, WHEELS_CI_CONTRACT_ROOT=<dir> likewise for the
-#              contract check (used by tests/test_ci_driver.py to inject
+#              contract check, WHEELS_CI_RNG_ROOT=<dir> likewise for the
+#              RNG provenance check (which then also skips the audit
+#              cross-check; used by tests/test_ci_driver.py to inject
 #              known failures without touching the real sources).
 # The stage list, toggles and --quick membership are themselves pinned in
 # tools/contracts.json; the ci-stage rule fails when this file and the
@@ -99,7 +111,54 @@ if [[ "${WHEELS_CI_CONTRACT:-1}" == 1 ]]; then
     || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 4: dataset CLI smoke --------------------------------------------
+# --- Stage 4: RNG provenance -------------------------------------------------
+# Whole-program fork-graph rules (fork-collision, rng-by-value,
+# draw-in-unordered, unlabeled-fork, fork-graph-drift against the pinned
+# tools/rng_graph.json), preceded by the analyzer's fixture tests.
+# Outside --quick, additionally generates the seed-42 stride-64 campaign
+# twice (jobs=1 and jobs=4, cold caches) with the runtime audit armed and
+# cross-checks both JSONL fork trees: every runtime edge must exist in
+# the static graph, zero provenance conflicts, and per-stream draw counts
+# must be identical across the two jobs values.
+if [[ "${WHEELS_CI_RNG:-1}" == 1 ]]; then
+  banner "wheels-rng: rule self-tests"
+  python3 tests/test_rng_rules.py || FAILURES=$((FAILURES + 1))
+  banner "wheels-rng: full repo"
+  python3 tools/wheels_rng.py --root "${WHEELS_CI_RNG_ROOT:-$ROOT}" \
+    || FAILURES=$((FAILURES + 1))
+  if [[ "$QUICK" == 0 && -z "${WHEELS_CI_RNG_ROOT:-}" ]]; then
+    banner "wheels-rng: runtime audit cross-check (jobs=1 vs jobs=4)"
+    cmake --preset default >/dev/null
+    if cmake --build --preset default -j "$JOBS" --target wheels_campaign; then
+      CLI=build/tools/wheels_campaign
+      RNG_DIR=build/ci-rng-audit
+      rm -rf "$RNG_DIR" && mkdir -p "$RNG_DIR"
+      RNG_OK=1
+      for J in 1 4; do
+        WHEELS_DATASET_DIR="$RNG_DIR/cache-$J" \
+        WHEELS_RNG_AUDIT_OUT="$RNG_DIR/trace-$J.jsonl" \
+          "$CLI" generate --stride 64 --jobs "$J" --skip-apps --skip-static \
+          --dir "$RNG_DIR/cache-$J" >/dev/null || RNG_OK=0
+      done
+      if [[ "$RNG_OK" == 1 ]]; then
+        python3 tools/wheels_rng.py --root "$ROOT" \
+          --check-trace "$RNG_DIR/trace-1.jsonl" "$RNG_DIR/trace-4.jsonl" \
+          || RNG_OK=0
+      fi
+      rm -rf "$RNG_DIR"
+      if [[ "$RNG_OK" == 1 ]]; then
+        echo "rng audit cross-check: OK"
+      else
+        echo "rng audit cross-check FAILED"
+        FAILURES=$((FAILURES + 1))
+      fi
+    else
+      FAILURES=$((FAILURES + 1))
+    fi
+  fi
+fi
+
+# --- Stage 5: dataset CLI smoke --------------------------------------------
 # Builds wheels_campaign and checks the argument/exit-code contract without
 # running a simulation: `info` on an empty cache succeeds, malformed input
 # and unknown subcommands must exit non-zero.
@@ -131,7 +190,7 @@ if [[ "${WHEELS_CI_DATASET:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 5: scenario smoke -------------------------------------------------
+# --- Stage 6: scenario smoke -------------------------------------------------
 # The declarative scenario library must stay loadable and runnable end to
 # end: list-scenarios prints every built-in, and one non-default scenario
 # generates into a scratch cache at a sparse stride (a real simulation,
@@ -163,7 +222,7 @@ if [[ "${WHEELS_CI_SCENARIO:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 6: trace validation ---------------------------------------------
+# --- Stage 7: trace validation ---------------------------------------------
 # Runs the stride-64 Fig.3 bench cold with WHEELS_TRACE armed and checks
 # the exported Chrome trace_event file: parseable JSON, spans nest
 # monotonically within each thread lane, and every phase the contract
@@ -198,7 +257,7 @@ if [[ "${WHEELS_CI_TRACE:-1}" == 1 ]]; then
   fi
 fi
 
-# --- Stage 7: header self-sufficiency --------------------------------------
+# --- Stage 8: header self-sufficiency --------------------------------------
 # cmake/HeaderSelfCheck.cmake generates one `#include "<header>"` TU per
 # public header; compiling the target proves every header stands alone
 # under -Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast.
@@ -209,14 +268,14 @@ if [[ "${WHEELS_CI_HEADERS:-1}" == 1 ]]; then
     || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 8: warnings-as-errors build -------------------------------------
+# --- Stage 9: warnings-as-errors build -------------------------------------
 if [[ "${WHEELS_CI_WERROR:-1}" == 1 ]]; then
   banner "werror build (-Werror -Wconversion -Wshadow -Wdouble-promotion -Wold-style-cast)"
   cmake --preset werror >/dev/null
   cmake --build --preset werror -j "$JOBS" || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 9: sanitizer-clean test suite -----------------------------------
+# --- Stage 10: sanitizer-clean test suite -----------------------------------
 if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
   banner "asan-ubsan build + ctest"
   cmake --preset asan-ubsan >/dev/null
@@ -228,7 +287,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_SANITIZE:-1}" == 1 ]]; then
     ctest --preset asan-ubsan || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 10: tsan over the parallel campaign path -------------------------
+# --- Stage 11: tsan over the parallel campaign path -------------------------
 # The deterministic parallel engine's data-race gate: thread-pool unit
 # tests plus the jobs=1 == jobs=4 determinism proofs, all with
 # WHEELS_JOBS=4 (set by the tsan-parallel test preset) so every pool and
@@ -241,7 +300,7 @@ if [[ "$QUICK" == 0 && "${WHEELS_CI_TSAN:-1}" == 1 ]]; then
     ctest --preset tsan-parallel || FAILURES=$((FAILURES + 1))
 fi
 
-# --- Stage 11: clang-tidy (best effort: optional in the container) ----------
+# --- Stage 12: clang-tidy (best effort: optional in the container) ----------
 # Every preset exports CMAKE_EXPORT_COMPILE_COMMANDS, so clang-tidy reads
 # the exact flags the build used; the file list comes from the database
 # itself rather than an ad-hoc find.
@@ -267,7 +326,35 @@ print("\n".join(files))
   fi
 fi
 
-# --- Stage 12: replay-kernel bench smoke -------------------------------------
+# --- Stage 13: gcc -fanalyzer (best effort: support varies by toolchain) ----
+# GCC's path-sensitive analyzer (-fanalyzer) is experimental for C++, so
+# this stage first probes whether the installed g++ accepts it on a C++
+# TU and skips with a notice when it does not. It runs over src/core/
+# only: the deterministic substrate (rng, thread pool, event queue) is
+# where a leak or null-deref found by symbolic execution would poison
+# everything above it.
+if [[ "${WHEELS_CI_FANALYZER:-1}" == 1 ]]; then
+  if command -v g++ >/dev/null 2>&1 \
+      && echo 'int main(){}' | g++ -x c++ -fanalyzer -c -o /dev/null - \
+           >/dev/null 2>&1; then
+    banner "gcc -fanalyzer (src/core)"
+    FANALYZER_OK=1
+    for f in src/core/*.cpp; do
+      g++ -std=c++20 -fanalyzer -Isrc -c -o /dev/null "$f" \
+        || FANALYZER_OK=0
+    done
+    if [[ "$FANALYZER_OK" == 1 ]]; then
+      echo "gcc -fanalyzer: OK"
+    else
+      echo "gcc -fanalyzer FAILED"
+      FAILURES=$((FAILURES + 1))
+    fi
+  else
+    echo "g++ -fanalyzer unsupported on this toolchain; skipping"
+  fi
+fi
+
+# --- Stage 14: replay-kernel bench smoke -------------------------------------
 # One sparse-stride A/B of the batched replay kernel against the original
 # scalar path. The bench itself enforces the equivalence contract (exit 1
 # when the two datasets differ), so this doubles as a cheap end-to-end

@@ -126,13 +126,16 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*([^)]+)\)")
 
 PRAGMA_ONCE_RE = re.compile(r"^\s*#\s*pragma\s+once\s*$", re.MULTILINE)
 
-# `recv.fork("label")` / `recv->fork("label")` with a string-literal label.
-# Chained calls (`rng.fork(a).fork("b")`) and computed labels
-# (`rng.fork(city.name)`) deliberately do not match: only textually
-# identical (receiver, literal) pairs can be proven duplicates.
+# `recv.fork("label")` / `recv->fork(7)` with a string-literal label or
+# an integer-literal salt. Chained calls (`rng.fork(a).fork("b")`) and
+# computed arguments (`rng.fork(city.name)`) deliberately do not match:
+# only textually provable (receiver, literal) pairs are duplicates here;
+# cross-scope and cross-TU collisions (including alias chains) are
+# wheels_rng.py's fork-collision rule.
 FORK_RE = re.compile(
     r"(?P<recv>\b\w+(?:(?:\.|->)\w+)*)\s*(?:\.|->)\s*fork\s*\(\s*"
-    r'"(?P<label>[^"]*)"\s*\)')
+    r'(?:"(?P<label>[^"]*)"'
+    r"|(?P<salt>(?:0[xX][0-9a-fA-F']+|\d[\d']*)[uUlL]*))\s*\)")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
 
@@ -146,7 +149,9 @@ RULES = {
     "unordered-iter":
         "iteration over unordered container (nondeterministic order)",
     "duplicate-fork":
-        "same string-literal rng fork label twice on one parent in a scope",
+        "same literal rng fork label or integer salt twice on one parent "
+        "in a scope (lexical check; whole-program collisions are "
+        "wheels_rng.py fork-collision)",
     "static-local":
         "mutable function-local static in src/ (init races under the "
         "parallel campaign engine)",
@@ -180,11 +185,21 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
+DIGIT_SEP_RE = re.compile(r"(\d)'([\da-fA-F])")
+
+
 def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
     """Blank out comments, string and char literals, preserving line
     structure so reported line numbers stay meaningful. With
     `keep_strings`, ordinary string literals survive (raw strings and char
-    literals are still blanked) for rules that inspect literal contents."""
+    literals are still blanked) for rules that inspect literal contents.
+    C++14 digit separators (1'000) are removed first: the apostrophe would
+    otherwise read as a char-literal open and swallow source up to the
+    next apostrophe (separators never span lines, so line numbers hold)."""
+    prev = None
+    while prev != text:
+        prev = text
+        text = DIGIT_SEP_RE.sub(r"\1\2", text)
     out = []
     i, n = 0, len(text)
     while i < n:
@@ -342,14 +357,24 @@ def check_duplicate_fork(relpath: str, text: str) -> list[Finding]:
     while i < n:
         if i in matches:
             m = matches[i]
-            key = (stack[-1], m.group("recv"), m.group("label"))
+            if m.group("label") is not None:
+                arg = ("s", m.group("label"))
+                shown = f'label "{m.group("label")}"'
+            else:
+                # Key on the numeric value so 0x7 and 7 (and digit-
+                # separated spellings) collide like the salts they are.
+                value = int(
+                    m.group("salt").replace("'", "").rstrip("uUlL"), 0)
+                arg = ("i", value)
+                shown = f"salt {m.group('salt')}"
+            key = (stack[-1], m.group("recv"), arg)
             if key in seen:
                 findings.append(
                     Finding(
                         relpath, line, "duplicate-fork",
-                        f'fork label "{m.group("label")}" already used on '
+                        f"fork {shown} already used on "
                         f"'{m.group('recv')}' in this scope (line "
-                        f"{seen[key]}): identical labels fork bit-identical "
+                        f"{seen[key]}): identical salts fork bit-identical "
                         "streams, correlating randomness that was meant to "
                         "be independent"))
             else:

@@ -1,0 +1,91 @@
+// Keyed single-flight execution: at most one concurrent computation per
+// key, with waiter futures.
+//
+// The first caller for a key (the leader) inserts a flight into the table
+// and runs `compute` outside the lock; callers that arrive while that
+// computation is in flight (the waiters) block on a shared future and
+// receive the leader's result instead of recomputing. The flight is
+// retired when the computation finishes, so the table only ever holds
+// in-progress keys -- residency policy (memo, LRU, nothing) stays with
+// the caller's `compute`.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace wheels {
+
+template <typename Key, typename Value>
+class SingleFlight {
+ public:
+  // Resolve `key`, computing it at most once across concurrent callers.
+  // `compute` returns std::shared_ptr<const Value> and runs with no lock
+  // held; it is responsible for publishing the value anywhere it should
+  // outlive the flight (memo, cache) before returning, because the flight
+  // is retired before the waiters are woken. on_lead() / on_join() are
+  // observation callbacks, also invoked outside the table lock: exactly
+  // one on_lead() per flight, one on_join() per waiter that joined it. If
+  // `compute` throws, the exception propagates to the leader and to every
+  // waiter, and the flight is retired so a later call retries.
+  template <typename Compute, typename OnLead, typename OnJoin>
+  std::shared_ptr<const Value> resolve(const Key& key, Compute&& compute,
+                                       OnLead&& on_lead, OnJoin&& on_join) {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      auto it = flights_.find(key);
+      if (it == flights_.end()) {
+        flight = std::make_shared<Flight>();
+        flights_.emplace(key, flight);
+        leader = true;
+      } else {
+        flight = it->second;
+      }
+    }
+
+    if (!leader) {
+      on_join();
+      return flight->future.get();
+    }
+
+    on_lead();
+    std::shared_ptr<const Value> value;
+    try {
+      value = compute();
+    } catch (...) {
+      retire(key);
+      flight->promise.set_exception(std::current_exception());
+      throw;
+    }
+    retire(key);
+    flight->promise.set_value(value);
+    return value;
+  }
+
+  // Number of keys currently being computed.
+  [[nodiscard]] std::size_t in_flight() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return flights_.size();
+  }
+
+ private:
+  struct Flight {
+    std::promise<std::shared_ptr<const Value>> promise;
+    std::shared_future<std::shared_ptr<const Value>> future =
+        promise.get_future().share();
+  };
+
+  void retire(const Key& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    flights_.erase(key);
+  }
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace wheels

@@ -28,6 +28,8 @@ struct ProviderMetrics {
   obs::Counter& disk_hits;
   obs::Counter& campaign_simulations;
   obs::Counter& baseline_simulations;
+  obs::Counter& inflight_leaders;
+  obs::Counter& inflight_joins;
 };
 
 ProviderMetrics& provider_metrics() {
@@ -37,6 +39,8 @@ ProviderMetrics& provider_metrics() {
       obs::Registry::global().counter("dataset.provider.disk_hits"),
       obs::Registry::global().counter("dataset.provider.campaign_simulations"),
       obs::Registry::global().counter("dataset.provider.baseline_simulations"),
+      obs::Registry::global().counter("dataset.provider.inflight_leaders"),
+      obs::Registry::global().counter("dataset.provider.inflight_joins"),
   };
   return m;
 }
@@ -54,6 +58,7 @@ CampaignProvider::CampaignProvider(ProviderOptions opts)
     : cache_(opts.cache_dir),
       use_cache_(opts.use_cache && !cache_disabled_by_env()),
       verbose_(opts.verbose),
+      memoize_(opts.memoize),
       jobs_(resolve_jobs(opts.jobs)) {}
 
 CampaignProvider::~CampaignProvider() = default;
@@ -62,6 +67,11 @@ void CampaignProvider::set_jobs(int jobs) {
   const std::lock_guard<std::mutex> lock(mu_);
   jobs_ = resolve_jobs(jobs);
   for (auto& [fp, campaign] : campaigns_) campaign->set_jobs(jobs_);
+}
+
+void CampaignProvider::set_inflight_hook(InflightHook hook) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  inflight_hook_ = std::move(hook);
 }
 
 trip::Campaign& CampaignProvider::campaign_for(
@@ -93,216 +103,190 @@ void CampaignProvider::note(DatasetKind kind, std::uint64_t fp,
   std::fputs(line.c_str(), stderr);
 }
 
-const trip::CampaignResult& CampaignProvider::load_or_run(
-    const trip::CampaignConfig& cfg) {
-  const std::uint64_t fp = fingerprint(cfg);
-  const auto key = std::make_pair(fp, 0);
+template <typename Result, typename Simulate>
+std::shared_ptr<const Result> CampaignProvider::resolve_impl(
+    Memo<Result>& memo, SingleFlight<Key, Result>& flights, DatasetKind kind,
+    std::uint64_t fp, int opi, ran::OperatorId op, SimKind sim,
+    Simulate simulate) {
+  const Key key{fp, opi};
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = results_.find(key); it != results_.end()) {
+    if (const auto it = memo.find(key); it != memo.end()) {
       provider_metrics().memo_hits.inc();
-      return *it->second;
+      return it->second;
     }
   }
 
-  if (use_cache_) {
-    if (const auto payload = cache_.load(DatasetKind::Campaign, fp,
-                                         ran::OperatorId::Verizon)) {
-      auto loaded = std::make_unique<trip::CampaignResult>();
-      if (decode(*payload, *loaded)) {
-        const std::lock_guard<std::mutex> lock(mu_);
-        const auto [it, inserted] = results_.emplace(key, std::move(loaded));
-        if (inserted) {
-          ++disk_hits_;
-          provider_metrics().disk_hits.inc();
-          note(DatasetKind::Campaign, fp, "cache hit");
-        }
-        return *it->second;
+  auto compute = [&]() -> std::shared_ptr<const Result> {
+    // Losing the pre-flight race (a previous leader retired its flight and
+    // published to the memo between our memo miss and our flight insert)
+    // must not re-resolve.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (const auto it = memo.find(key); it != memo.end()) {
+        provider_metrics().memo_hits.inc();
+        return it->second;
       }
     }
-  }
-
-  trip::Campaign* campaign = nullptr;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    campaign = &campaign_for(cfg);
-  }
-  note(DatasetKind::Campaign, fp, "simulating");
-  // Simulate outside the lock so distinct keys overlap; Campaign::run is
-  // itself idempotent, so a same-key race costs a copy, not a re-run.
-  auto owned = [&] {
-    const obs::Span span(simulate_span_name(DatasetKind::Campaign), "dataset");
-    return std::make_unique<trip::CampaignResult>(campaign->run());
-  }();
-
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = results_.emplace(key, std::move(owned));
-  if (inserted) {
-    ++campaign_simulations_;
-    provider_metrics().campaign_simulations.inc();
     if (use_cache_) {
-      cache_.store(DatasetKind::Campaign, fp, ran::OperatorId::Verizon,
-                   encode(*it->second));
+      if (const auto payload = cache_.load(kind, fp, op)) {
+        auto loaded = std::make_shared<Result>();
+        if (decode(*payload, *loaded)) {
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++disk_hits_;
+          provider_metrics().disk_hits.inc();
+          note(kind, fp, "cache hit");
+          if (memoize_) memo.emplace(key, loaded);
+          return loaded;
+        }
+      }
     }
-  }
-  return *it->second;
+    note(kind, fp, "simulating");
+    std::shared_ptr<const Result> owned = [&] {
+      const obs::Span span(simulate_span_name(kind), "dataset");
+      return std::shared_ptr<const Result>(simulate());
+    }();
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (sim == SimKind::Campaign) {
+      ++campaign_simulations_;
+      provider_metrics().campaign_simulations.inc();
+    } else {
+      ++baseline_simulations_;
+      provider_metrics().baseline_simulations.inc();
+    }
+    if (use_cache_) cache_.store(kind, fp, op, encode(*owned));
+    if (memoize_) memo.emplace(key, owned);
+    return owned;
+  };
+
+  return flights.resolve(
+      key, compute,
+      /*on_lead=*/
+      [&] {
+        InflightHook hook;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++inflight_leaders_;
+          hook = inflight_hook_;
+        }
+        provider_metrics().inflight_leaders.inc();
+        if (hook) hook(kind, fp, /*joined=*/false);
+      },
+      /*on_join=*/
+      [&] {
+        InflightHook hook;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          ++inflight_joins_;
+          hook = inflight_hook_;
+        }
+        provider_metrics().inflight_joins.inc();
+        if (hook) hook(kind, fp, /*joined=*/true);
+      });
+}
+
+std::shared_ptr<const trip::CampaignResult> CampaignProvider::resolve(
+    const trip::CampaignConfig& cfg) {
+  const std::uint64_t fp = fingerprint(cfg);
+  return resolve_impl(
+      results_, result_flights_, DatasetKind::Campaign, fp, 0,
+      ran::OperatorId::Verizon, SimKind::Campaign, [&] {
+        std::unique_ptr<trip::Campaign> local;
+        trip::Campaign* campaign = nullptr;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          if (memoize_) {
+            campaign = &campaign_for(cfg);
+          } else {
+            local = std::make_unique<trip::Campaign>(cfg);
+            local->set_jobs(jobs_);
+            campaign = local.get();
+          }
+        }
+        return std::make_shared<trip::CampaignResult>(campaign->run());
+      });
+}
+
+std::shared_ptr<const trip::StaticBaseline> CampaignProvider::resolve_static(
+    const trip::CampaignConfig& cfg, ran::OperatorId op) {
+  const std::uint64_t fp = fingerprint_static(cfg);
+  return resolve_impl(
+      baselines_, baseline_flights_, DatasetKind::StaticBaseline, fp,
+      op_index(op), op, SimKind::Baseline, [&] {
+        std::unique_ptr<trip::Campaign> local;
+        trip::Campaign* campaign = nullptr;
+        {
+          const std::lock_guard<std::mutex> lock(mu_);
+          if (memoize_) {
+            campaign = &campaign_for(cfg);
+          } else {
+            local = std::make_unique<trip::Campaign>(cfg);
+            local->set_jobs(jobs_);
+            campaign = local.get();
+          }
+        }
+        return std::make_shared<trip::StaticBaseline>(
+            campaign->run_static_baseline(op));
+      });
+}
+
+std::shared_ptr<const apps::AppCampaignResult> CampaignProvider::resolve_apps(
+    const apps::AppCampaignConfig& cfg) {
+  const std::uint64_t fp = fingerprint(cfg);
+  return resolve_impl(
+      app_results_, app_result_flights_, DatasetKind::AppCampaign, fp, 0,
+      ran::OperatorId::Verizon, SimKind::Campaign, [&] {
+        apps::AppCampaign campaign(cfg);
+        return std::make_shared<apps::AppCampaignResult>(campaign.run());
+      });
+}
+
+std::shared_ptr<const std::vector<apps::AppRunRecord>>
+CampaignProvider::resolve_apps_static(const apps::AppCampaignConfig& cfg,
+                                      ran::OperatorId op) {
+  const std::uint64_t fp = fingerprint_static(cfg);
+  return resolve_impl(
+      app_baselines_, app_baseline_flights_, DatasetKind::AppStaticBaseline,
+      fp, op_index(op), op, SimKind::Baseline, [&] {
+        apps::AppCampaign campaign(cfg);
+        return std::make_shared<std::vector<apps::AppRunRecord>>(
+            campaign.run_static_baseline(op));
+      });
+}
+
+const trip::CampaignResult& CampaignProvider::load_or_run(
+    const trip::CampaignConfig& cfg) {
+  auto ptr = resolve(cfg);
+  const Key key{fingerprint(cfg), 0};
+  // Pin in the memo regardless of memoize_ so the reference stays valid
+  // for the provider's lifetime (first insert wins; same bytes either way).
+  const std::lock_guard<std::mutex> lock(mu_);
+  return *results_.emplace(key, std::move(ptr)).first->second;
 }
 
 const trip::StaticBaseline& CampaignProvider::load_or_run_static(
     const trip::CampaignConfig& cfg, ran::OperatorId op) {
-  const std::uint64_t fp = fingerprint_static(cfg);
-  const auto key = std::make_pair(fp, op_index(op));
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = baselines_.find(key); it != baselines_.end()) {
-      provider_metrics().memo_hits.inc();
-      return *it->second;
-    }
-  }
-
-  if (use_cache_) {
-    if (const auto payload =
-            cache_.load(DatasetKind::StaticBaseline, fp, op)) {
-      auto loaded = std::make_unique<trip::StaticBaseline>();
-      if (decode(*payload, *loaded)) {
-        const std::lock_guard<std::mutex> lock(mu_);
-        const auto [it, inserted] = baselines_.emplace(key, std::move(loaded));
-        if (inserted) {
-          ++disk_hits_;
-          provider_metrics().disk_hits.inc();
-          note(DatasetKind::StaticBaseline, fp, "cache hit");
-        }
-        return *it->second;
-      }
-    }
-  }
-
-  trip::Campaign* campaign = nullptr;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    campaign = &campaign_for(cfg);
-  }
-  note(DatasetKind::StaticBaseline, fp, "simulating");
-  auto owned = [&] {
-    const obs::Span span(simulate_span_name(DatasetKind::StaticBaseline),
-                         "dataset");
-    return std::make_unique<trip::StaticBaseline>(
-        campaign->run_static_baseline(op));
-  }();
-
+  auto ptr = resolve_static(cfg, op);
+  const Key key{fingerprint_static(cfg), op_index(op)};
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = baselines_.emplace(key, std::move(owned));
-  if (inserted) {
-    ++baseline_simulations_;
-    provider_metrics().baseline_simulations.inc();
-    if (use_cache_) {
-      cache_.store(DatasetKind::StaticBaseline, fp, op, encode(*it->second));
-    }
-  }
-  return *it->second;
+  return *baselines_.emplace(key, std::move(ptr)).first->second;
 }
 
 const apps::AppCampaignResult& CampaignProvider::load_or_run_apps(
     const apps::AppCampaignConfig& cfg) {
-  const std::uint64_t fp = fingerprint(cfg);
-  const auto key = std::make_pair(fp, 0);
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = app_results_.find(key); it != app_results_.end()) {
-      provider_metrics().memo_hits.inc();
-      return *it->second;
-    }
-  }
-
-  if (use_cache_) {
-    if (const auto payload = cache_.load(DatasetKind::AppCampaign, fp,
-                                         ran::OperatorId::Verizon)) {
-      auto loaded = std::make_unique<apps::AppCampaignResult>();
-      if (decode(*payload, *loaded)) {
-        const std::lock_guard<std::mutex> lock(mu_);
-        const auto [it, inserted] =
-            app_results_.emplace(key, std::move(loaded));
-        if (inserted) {
-          ++disk_hits_;
-          provider_metrics().disk_hits.inc();
-          note(DatasetKind::AppCampaign, fp, "cache hit");
-        }
-        return *it->second;
-      }
-    }
-  }
-
-  note(DatasetKind::AppCampaign, fp, "simulating");
-  apps::AppCampaign campaign(cfg);
-  auto owned = [&] {
-    const obs::Span span(simulate_span_name(DatasetKind::AppCampaign),
-                         "dataset");
-    return std::make_unique<apps::AppCampaignResult>(campaign.run());
-  }();
-
+  auto ptr = resolve_apps(cfg);
+  const Key key{fingerprint(cfg), 0};
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = app_results_.emplace(key, std::move(owned));
-  if (inserted) {
-    ++campaign_simulations_;
-    provider_metrics().campaign_simulations.inc();
-    if (use_cache_) {
-      cache_.store(DatasetKind::AppCampaign, fp, ran::OperatorId::Verizon,
-                   encode(*it->second));
-    }
-  }
-  return *it->second;
+  return *app_results_.emplace(key, std::move(ptr)).first->second;
 }
 
 const std::vector<apps::AppRunRecord>&
 CampaignProvider::load_or_run_apps_static(const apps::AppCampaignConfig& cfg,
                                           ran::OperatorId op) {
-  const std::uint64_t fp = fingerprint_static(cfg);
-  const auto key = std::make_pair(fp, op_index(op));
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (const auto it = app_baselines_.find(key); it != app_baselines_.end()) {
-      provider_metrics().memo_hits.inc();
-      return *it->second;
-    }
-  }
-
-  if (use_cache_) {
-    if (const auto payload =
-            cache_.load(DatasetKind::AppStaticBaseline, fp, op)) {
-      auto loaded = std::make_unique<std::vector<apps::AppRunRecord>>();
-      if (decode(*payload, *loaded)) {
-        const std::lock_guard<std::mutex> lock(mu_);
-        const auto [it, inserted] =
-            app_baselines_.emplace(key, std::move(loaded));
-        if (inserted) {
-          ++disk_hits_;
-          provider_metrics().disk_hits.inc();
-          note(DatasetKind::AppStaticBaseline, fp, "cache hit");
-        }
-        return *it->second;
-      }
-    }
-  }
-
-  note(DatasetKind::AppStaticBaseline, fp, "simulating");
-  apps::AppCampaign campaign(cfg);
-  auto owned = [&] {
-    const obs::Span span(simulate_span_name(DatasetKind::AppStaticBaseline),
-                         "dataset");
-    return std::make_unique<std::vector<apps::AppRunRecord>>(
-        campaign.run_static_baseline(op));
-  }();
-
+  auto ptr = resolve_apps_static(cfg, op);
+  const Key key{fingerprint_static(cfg), op_index(op)};
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = app_baselines_.emplace(key, std::move(owned));
-  if (inserted) {
-    ++baseline_simulations_;
-    provider_metrics().baseline_simulations.inc();
-    if (use_cache_) {
-      cache_.store(DatasetKind::AppStaticBaseline, fp, op, encode(*it->second));
-    }
-  }
-  return *it->second;
+  return *app_baselines_.emplace(key, std::move(ptr)).first->second;
 }
 
 }  // namespace wheels::dataset

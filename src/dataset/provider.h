@@ -12,8 +12,16 @@
 // ~20 campaign simulations into at most 2 (measurement + apps), with
 // bit-identical outputs either way. simulations-run counters expose the
 // distinction for tests and for the EXPERIMENTS.md measurement.
+//
+// Concurrent requests for one key are single-flighted through a keyed
+// in-flight table (core/singleflight.h): the first request simulates, the
+// rest wait on its future and share the result. The serve daemon builds on
+// this to guarantee a thundering herd on one cold fingerprint simulates
+// exactly once, with memoize=false so residency is owned by its LRU store
+// rather than this process-lifetime memo.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -22,6 +30,7 @@
 #include <vector>
 
 #include "apps/app_campaign.h"
+#include "core/singleflight.h"
 #include "dataset/cache.h"
 #include "trip/campaign.h"
 
@@ -42,6 +51,12 @@ struct ProviderOptions {
   // and per-city baseline fan-out). <= 0 resolves from WHEELS_JOBS. Never
   // part of the fingerprint: jobs changes wall-clock, not bytes.
   int jobs = 0;
+  // Pin every resolved dataset in the process-lifetime memo. The
+  // figure/bench tools want this (ask twice, pay nothing, references stay
+  // stable); the serve daemon turns it off and owns residency in its
+  // LRU-bounded store instead. The reference-returning load_or_run* API
+  // pins its results regardless of this flag, so references never dangle.
+  bool memoize = true;
 };
 
 class CampaignProvider {
@@ -52,9 +67,23 @@ class CampaignProvider {
   CampaignProvider(const CampaignProvider&) = delete;
   CampaignProvider& operator=(const CampaignProvider&) = delete;
 
-  // The load_or_run* methods are safe to call from several threads (the
-  // tools materialize the campaign and all static baselines concurrently);
-  // concurrent requests for the same key simulate at most once.
+  // Shared-ownership resolution. Safe to call from several threads;
+  // concurrent requests for one key are single-flighted (exactly one
+  // simulation, the rest join the in-flight computation and share its
+  // result). With memoize=false the returned shared_ptr is the only
+  // ownership handle once the flight retires.
+  std::shared_ptr<const trip::CampaignResult> resolve(
+      const trip::CampaignConfig& cfg);
+  std::shared_ptr<const trip::StaticBaseline> resolve_static(
+      const trip::CampaignConfig& cfg, ran::OperatorId op);
+  std::shared_ptr<const apps::AppCampaignResult> resolve_apps(
+      const apps::AppCampaignConfig& cfg);
+  std::shared_ptr<const std::vector<apps::AppRunRecord>> resolve_apps_static(
+      const apps::AppCampaignConfig& cfg, ran::OperatorId op);
+
+  // Reference-returning conveniences over resolve*. They pin the result in
+  // the memo (even with memoize=false) so the reference stays valid for
+  // the provider's lifetime.
   const trip::CampaignResult& load_or_run(const trip::CampaignConfig& cfg);
   const trip::StaticBaseline& load_or_run_static(
       const trip::CampaignConfig& cfg, ran::OperatorId op);
@@ -78,14 +107,39 @@ class CampaignProvider {
     return baseline_simulations_;
   }
   [[nodiscard]] int disk_hits() const { return disk_hits_; }
+  // Flights led (one per cold resolution) and flights joined (waiters that
+  // shared an in-progress computation instead of re-resolving).
+  [[nodiscard]] int inflight_leaders() const { return inflight_leaders_; }
+  [[nodiscard]] int inflight_joins() const { return inflight_joins_; }
+
+  // Observation hook for cross-request single-flight, called outside the
+  // provider lock: once per leader (joined=false) before it resolves, and
+  // once per waiter (joined=true) before it blocks on the flight. Tests
+  // latch the leader in here until the expected waiters have joined,
+  // making the herd assertion deterministic. Set before concurrent use.
+  using InflightHook =
+      std::function<void(DatasetKind kind, std::uint64_t fp, bool joined)>;
+  void set_inflight_hook(InflightHook hook);
 
   [[nodiscard]] const DatasetCache& cache() const { return cache_; }
   [[nodiscard]] bool cache_enabled() const { return use_cache_; }
 
  private:
+  // (fingerprint, operator index) -- operator index is 0 for whole-drive
+  // datasets, the OperatorId for per-operator baselines.
+  using Key = std::pair<std::uint64_t, int>;
   template <typename Result>
-  using Memo = std::map<std::pair<std::uint64_t, int>,
-                        std::unique_ptr<Result>>;
+  using Memo = std::map<Key, std::shared_ptr<const Result>>;
+
+  enum class SimKind : std::uint8_t { Campaign, Baseline };
+
+  // Shared memo -> disk -> single-flight-simulate resolution; `simulate`
+  // runs outside mu_ inside the flight.
+  template <typename Result, typename Simulate>
+  std::shared_ptr<const Result> resolve_impl(
+      Memo<Result>& memo, SingleFlight<Key, Result>& flights,
+      DatasetKind kind, std::uint64_t fp, int opi, ran::OperatorId op,
+      SimKind sim, Simulate simulate);
 
   // Memoized Campaign instance per full-config fingerprint, so a bench
   // needing both baselines and the drive builds the corridor/deployments
@@ -97,14 +151,18 @@ class CampaignProvider {
   DatasetCache cache_;
   bool use_cache_;
   bool verbose_;
+  bool memoize_;
   int jobs_ = 1;
   int campaign_simulations_ = 0;
   int baseline_simulations_ = 0;
   int disk_hits_ = 0;
+  int inflight_leaders_ = 0;
+  int inflight_joins_ = 0;
+  InflightHook inflight_hook_;
 
   // Guards the memo maps, the Campaign table, and the counters. Never held
   // across a simulation: concurrent distinct-key requests simulate in
-  // parallel, and same-key losers discard their copy at emplace time.
+  // parallel, and same-key requests coalesce in the flight tables below.
   std::mutex mu_;
 
   std::map<std::uint64_t, std::unique_ptr<trip::Campaign>> campaigns_;
@@ -112,6 +170,11 @@ class CampaignProvider {
   Memo<trip::StaticBaseline> baselines_;
   Memo<apps::AppCampaignResult> app_results_;
   Memo<std::vector<apps::AppRunRecord>> app_baselines_;
+
+  SingleFlight<Key, trip::CampaignResult> result_flights_;
+  SingleFlight<Key, trip::StaticBaseline> baseline_flights_;
+  SingleFlight<Key, apps::AppCampaignResult> app_result_flights_;
+  SingleFlight<Key, std::vector<apps::AppRunRecord>> app_baseline_flights_;
 };
 
 }  // namespace wheels::dataset

@@ -1,0 +1,93 @@
+// Socket / stdio transport of the serve daemon.
+//
+// Socket mode listens on an AF_UNIX stream socket and serves each
+// connection on its own thread; stdio mode serves exactly one session on
+// fds 0/1 (pipe transport for harnesses without socket plumbing). Both
+// feed complete frames to the shared Router. A self-pipe unblocks the
+// accept loop and a stop flag (checked on a 100 ms poll tick) unwinds
+// every session, so request_stop() -- from a signal handler, a Shutdown
+// request, or a test -- always converges to run() returning 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/router.h"
+
+namespace wheels::serve {
+
+struct DaemonOptions {
+  // AF_UNIX socket path (socket mode). Bound fresh on run(); unlinked on
+  // shutdown. Ignored in stdio mode.
+  std::string socket_path;
+  // Serve one session on stdin/stdout instead of listening.
+  bool stdio = false;
+  // Per-connection idle/read timeout in ms; < 0 resolves
+  // WHEELS_SERVE_IDLE_MS, then defaults to 30000. 0 disables timeouts.
+  int idle_timeout_ms = -1;
+  // Max concurrent sessions; excess connections get a typed Busy error.
+  int max_sessions = 64;
+  bool verbose = false;
+  RouterOptions router;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opts = DaemonOptions{});
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  // Serve until request_stop() (or a Shutdown request). Returns 0 on a
+  // clean shutdown, 1 on a transport setup failure.
+  int run();
+
+  // Thread-safe and signal-friendly; unblocks the accept loop and every
+  // in-flight session poll.
+  void request_stop();
+
+  [[nodiscard]] Router& router() { return router_; }
+  [[nodiscard]] const std::string& socket_path() const {
+    return opts_.socket_path;
+  }
+  [[nodiscard]] int idle_timeout_ms() const { return idle_timeout_ms_; }
+
+ private:
+  enum class IoStatus : std::uint8_t { Ok, Closed, Timeout, Stopped, Error };
+
+  int run_socket();
+  void serve_session(int in_fd, int out_fd, bool close_fds);
+  IoStatus read_exact(int fd, char* buf, std::size_t n, std::size_t& got);
+  bool write_all(int fd, std::string_view bytes);
+  void reap_finished_sessions();
+
+  DaemonOptions opts_;
+  int idle_timeout_ms_;
+  Router router_;
+
+  std::atomic<bool> stop_{false};
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<std::uint32_t> next_session_id_{1};
+
+  // Session threads stay joinable: finished ones are reaped on each
+  // accept, and every remaining one is joined before run() returns. A
+  // join is the only synchronization that covers the thread's *complete*
+  // teardown (thread-local destructors included), so detaching with a
+  // completion latch would let the daemon — or process-exit teardown —
+  // destroy state a session epilogue still touches.
+  struct SessionSlot {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<SessionSlot>> sessions_;
+  int active_sessions_ = 0;  // guarded by sessions_mu_
+};
+
+}  // namespace wheels::serve

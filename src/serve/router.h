@@ -1,0 +1,90 @@
+// Transport-agnostic request router of the serve daemon.
+//
+// Maps one decoded frame body to one response frame: resolves the query's
+// dataset through the LRU store (single-flight on misses), runs the
+// analysis-layer extraction, and encodes the reply. Because every query
+// handler is a pure function of the resolved dataset, responses to
+// identical queries are byte-identical regardless of request interleaving
+// or WHEELS_JOBS -- the Stats query is the one documented exception (it
+// reports request history).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+#include "serve/store.h"
+
+namespace wheels::serve {
+
+struct RouterOptions {
+  StoreOptions store;
+  // Max accepted frame body; <= 0 resolves WHEELS_SERVE_MAX_FRAME, then
+  // defaults to kDefaultMaxFrameBytes.
+  long long max_frame_bytes = 0;
+};
+
+// Compact per-peer runtime info, updated by the router on every frame and
+// owned by the transport (one per connection; the stdio transport has
+// exactly one).
+struct SessionState {
+  std::uint32_t id = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint8_t last_kind = 0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions opts = RouterOptions{});
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Handle one request body (the frame payload, header already stripped
+  // and validated) and return the full response frame. Thread-safe; never
+  // throws -- malformed or failing queries produce typed error frames.
+  std::string handle(std::string_view body, SessionState& session);
+
+  // Build a frame-layer error response (bad magic, oversize, truncated,
+  // idle timeout -- conditions where no request body ever decoded).
+  std::string error_frame(ErrorCode code, std::string_view message,
+                          SessionState& session);
+
+  // Latched by a Shutdown request; the transport checks it after replying.
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t max_frame_bytes() const {
+    return max_frame_bytes_;
+  }
+  [[nodiscard]] DatasetStore& store() { return store_; }
+
+  // Router-lifetime counters; also the payload of the Stats query (minus
+  // the sessions count, which the daemon owns).
+  [[nodiscard]] StatsReply stats() const;
+
+  // The daemon reports accepted connections here so Stats can include
+  // them.
+  void add_session() { sessions_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  Reply dispatch(const Request& req);
+  Reply run_kpi(const KpiQuery& q);
+  Reply run_region(const RegionSliceQuery& q);
+  Reply run_app_qoe(const AppQoeQuery& q);
+
+  std::size_t max_frame_bytes_;
+  DatasetStore store_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> sessions_{0};
+};
+
+}  // namespace wheels::serve

@@ -1,0 +1,85 @@
+// Memory-resident WDS1 dataset store for the serve daemon.
+//
+// An LRU-bounded table of resolved datasets keyed by (kind, fingerprint).
+// Hits bump recency and share ownership via shared_ptr (an evicted dataset
+// stays alive for requests still reading it); misses resolve through the
+// CampaignProvider outside the store lock, so the provider's keyed
+// in-flight table gives cross-request single-flight: a thundering herd on
+// one cold fingerprint simulates exactly once.
+//
+// The provider runs with memoize=false -- this store is the only residency
+// policy, so WHEELS_SERVE_MAX_DATASETS actually bounds memory instead of
+// shadowing a process-lifetime memo.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "dataset/provider.h"
+
+namespace wheels::serve {
+
+struct StoreOptions {
+  // Max resident datasets; <= 0 resolves WHEELS_SERVE_MAX_DATASETS, then
+  // defaults to 8.
+  int max_datasets = 0;
+  dataset::ProviderOptions provider;  // memoize is forced off by the store
+};
+
+class DatasetStore {
+ public:
+  explicit DatasetStore(StoreOptions opts = StoreOptions{});
+
+  DatasetStore(const DatasetStore&) = delete;
+  DatasetStore& operator=(const DatasetStore&) = delete;
+
+  std::shared_ptr<const trip::CampaignResult> campaign(
+      const trip::CampaignConfig& cfg);
+  std::shared_ptr<const apps::AppCampaignResult> apps(
+      const apps::AppCampaignConfig& cfg);
+
+  [[nodiscard]] int capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t resident() const;
+  [[nodiscard]] long long hits() const;
+  [[nodiscard]] long long misses() const;
+  [[nodiscard]] long long evictions() const;
+
+  [[nodiscard]] dataset::CampaignProvider& provider() { return provider_; }
+  [[nodiscard]] const dataset::CampaignProvider& provider() const {
+    return provider_;
+  }
+
+  // Test seam: replaces the provider on the campaign miss path with a
+  // synthetic factory so LRU bounds are testable without simulating.
+  // Bypasses the provider (and with it single-flight).
+  using CampaignFactory = std::function<std::shared_ptr<const trip::CampaignResult>(
+      const trip::CampaignConfig&)>;
+  void set_campaign_factory_for_testing(CampaignFactory factory);
+
+ private:
+  using Key = std::pair<std::uint8_t, std::uint64_t>;  // (kind, fingerprint)
+
+  std::shared_ptr<const void> lookup(const Key& key);
+  void insert(const Key& key, std::shared_ptr<const void> value);
+
+  struct Entry {
+    std::shared_ptr<const void> value;
+    std::uint64_t last_use = 0;
+  };
+
+  int capacity_;
+  dataset::CampaignProvider provider_;
+  CampaignFactory campaign_factory_;
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+  std::uint64_t tick_ = 0;
+  long long hits_ = 0;
+  long long misses_ = 0;
+  long long evictions_ = 0;
+};
+
+}  // namespace wheels::serve

@@ -34,6 +34,7 @@ HEAVY_STAGES_OFF = {
     "WHEELS_CI_TSAN": "0",
     "WHEELS_CI_TIDY": "0",
     "WHEELS_CI_KERNEL": "0",
+    "WHEELS_CI_SERVE": "0",
 }
 
 
@@ -221,6 +222,35 @@ class KernelStage(unittest.TestCase):
             "--quick", extra_env={"WHEELS_CI_KERNEL": "0"})
         self.assertEqual(code, 0, out)
         self.assertNotIn("replay-kernel bench smoke", out)
+
+
+class ServeStage(unittest.TestCase):
+    """The serve smoke stage: a member of --quick, toggleable via
+    WHEELS_CI_SERVE (off in HEAVY_STAGES_OFF above, so the other cases
+    never pay for the daemon build + a cold campaign simulation)."""
+
+    def test_serve_stage_runs_under_quick(self):
+        # Re-enable just this stage; it builds wheels_served and
+        # wheels_loadgen, boots the daemon on a scratch socket, and runs
+        # the scripted probe/cold/herd/hot schedule against it.
+        code, out = run_driver(
+            "--quick",
+            extra_env={
+                "WHEELS_CI_LINT": "0",
+                "WHEELS_CI_ARCH": "0",
+                "WHEELS_CI_CONTRACT": "0",
+                "WHEELS_CI_SERVE": "1",
+            })
+        self.assertEqual(code, 0, out)
+        self.assertIn("serve smoke", out)
+        self.assertIn('"byte_identical": true', out)
+        self.assertIn('"failures": 0', out)
+
+    def test_toggle_disables_the_stage(self):
+        code, out = run_driver(
+            "--quick", extra_env={"WHEELS_CI_SERVE": "0"})
+        self.assertEqual(code, 0, out)
+        self.assertNotIn("serve smoke", out)
 
 
 class StageToggles(unittest.TestCase):

@@ -50,7 +50,8 @@
 #              WHEELS_CI_RNG=0, WHEELS_CI_DATASET=0, WHEELS_CI_SCENARIO=0,
 #              WHEELS_CI_TRACE=0, WHEELS_CI_HEADERS=0, WHEELS_CI_WERROR=0,
 #              WHEELS_CI_SANITIZE=0, WHEELS_CI_TSAN=0, WHEELS_CI_TIDY=0,
-#              WHEELS_CI_FANALYZER=0, WHEELS_CI_KERNEL=0, WHEELS_CI_JOBS=<n>
+#              WHEELS_CI_FANALYZER=0, WHEELS_CI_KERNEL=0, WHEELS_CI_SERVE=0,
+#              WHEELS_CI_JOBS=<n>
 # Test hooks:  WHEELS_CI_LINT_ROOT=<dir> lints that tree instead of the
 #              repo, WHEELS_CI_CONTRACT_ROOT=<dir> likewise for the
 #              contract check, WHEELS_CI_RNG_ROOT=<dir> likewise for the
@@ -366,6 +367,49 @@ if [[ "${WHEELS_CI_KERNEL:-1}" == 1 ]]; then
   if cmake --build --preset default -j "$JOBS" --target bench_replay_kernel; then
     WHEELS_BENCH_JSON=1 ./build/bench/bench_replay_kernel 256 \
       || FAILURES=$((FAILURES + 1))
+  else
+    FAILURES=$((FAILURES + 1))
+  fi
+fi
+
+# --- Stage 15: serve smoke ---------------------------------------------------
+# End-to-end exercise of the campaign query daemon: wheels_served on a
+# scratch socket, driven by the load generator's scripted schedule
+# (malformed-frame probes, a cold miss, an 8-client herd on one cold
+# fingerprint, a warm-cache hot phase). The loadgen exits non-zero unless
+# the typed error responses arrive, single-flight simulated exactly once
+# with every waiter joining, and all herd responses were byte-identical;
+# the daemon must then shut down cleanly on request.
+if [[ "${WHEELS_CI_SERVE:-1}" == 1 ]]; then
+  banner "serve smoke (daemon + scripted loadgen)"
+  cmake --preset default >/dev/null
+  if cmake --build --preset default -j "$JOBS" --target wheels_served wheels_loadgen; then
+    SERVE_DIR="build/ci-serve"
+    rm -rf "$SERVE_DIR" && mkdir -p "$SERVE_DIR"
+    SERVE_OK=1
+    ./build/tools/wheels_served --socket "$SERVE_DIR/served.sock" \
+      --dir "$SERVE_DIR/cache" &
+    SERVED_PID=$!
+    for _ in $(seq 1 100); do
+      [[ -S "$SERVE_DIR/served.sock" ]] && break
+      sleep 0.1
+    done
+    if [[ -S "$SERVE_DIR/served.sock" ]]; then
+      ./build/tools/wheels_loadgen --socket "$SERVE_DIR/served.sock" \
+        --scenario urban-loop --stride 64 --clients 8 --requests 10 \
+        --probe --shutdown --out "$SERVE_DIR/bench.json" || SERVE_OK=0
+      cat "$SERVE_DIR/bench.json" 2>/dev/null || true
+    else
+      echo "serve smoke: daemon socket never appeared" >&2
+      SERVE_OK=0
+      kill "$SERVED_PID" 2>/dev/null || true
+    fi
+    if ! wait "$SERVED_PID"; then
+      echo "serve smoke: daemon did not shut down cleanly" >&2
+      SERVE_OK=0
+    fi
+    rm -rf "$SERVE_DIR"
+    [[ "$SERVE_OK" == 1 ]] || FAILURES=$((FAILURES + 1))
   else
     FAILURES=$((FAILURES + 1))
   fi
